@@ -1,0 +1,147 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation over the Perfect-benchmark surrogate corpora, the
+   ablations of DESIGN.md, and Bechamel micro-benchmarks of the pipeline
+   stages.
+
+   Run with:  dune exec bench/main.exe *)
+
+module Report = Isched_harness.Report
+module Suite = Isched_perfect.Suite
+module Machine = Isched_ir.Machine
+module Table = Isched_util.Table
+
+let line = String.make 78 '='
+
+let section title = Printf.printf "\n%s\n== %s\n%s\n\n" line title line
+
+(* --- figures --- *)
+
+let fig_1_to_4 () =
+  section "Figs. 1-4 - the paper's worked example, reproduced end to end";
+  print_string (Isched_harness.Worked_example.report ())
+
+(* --- tables --- *)
+
+let tables benches =
+  section "Table 1 - characteristics of the benchmark corpora";
+  Table.print (Report.table1 benches);
+  print_endline
+    "(Perfect surrogates: deterministic corpora matching the paper's structural statistics;\n\
+     FLQ52, QCD and TRACK all-LBD, MDG and ADM mixed, LBDs almost all flow dependences.)";
+  let ms = Report.measure benches Machine.paper_configs in
+  section "Table 2 - total parallel execution time (100 iterations per loop)";
+  Table.print (Report.table2 ms);
+  section "Table 3 - improved percentage of parallel execution time";
+  Table.print (Report.table3 ms);
+  let two, four = Report.overall ms in
+  Printf.printf
+    "\nOverall enhancement: %.2f%% for 2-issue and %.2f%% for 4-issue\n\
+     (the paper reports about 83.37%% and 85.1%%).\n"
+    two four;
+  section "DOACROSS loop categories (Chen & Yew's six types, Section 4.1)";
+  Table.print (Report.categories benches)
+
+let ablations benches =
+  section "Ablation A1 - damage ordering of synchronization paths";
+  Table.print (Report.ablation_order benches);
+  section "Ablation A2 - redundant-synchronization elimination";
+  Table.print (Report.ablation_elimination benches);
+  section "Ablation A3 - statement-level synchronization migration";
+  Table.print (Report.ablation_migration benches);
+  section "Sweep A4 - beyond the paper's four machine configurations";
+  Table.print (Report.sweep benches);
+  section "Ablation A5 - list vs marker-guided (ISPAN'94) vs new scheduling";
+  Table.print (Report.ablation_markers benches);
+  section "Unroll study - DOACROSS unrolling under the new scheduler";
+  Table.print (Report.unroll_study ());
+  section "Processor sweep - limited pools with cyclic iteration assignment";
+  Table.print (Report.processor_sweep benches);
+  section "Register study - spill traffic vs register-file size";
+  Table.print (Report.register_study benches);
+  section "Architecture comparison - software pipelining vs DOACROSS multiprocessing";
+  Table.print (Report.architecture_comparison benches)
+
+(* --- Bechamel micro-benchmarks --- *)
+
+let micro () =
+  section "Bechamel micro-benchmarks of the pipeline stages";
+  let open Bechamel in
+  let fig1 = Isched_harness.Worked_example.fig1_loop () in
+  let prog = Isched_harness.Worked_example.fig2_program () in
+  let graph = Isched_dfg.Dfg.build prog in
+  let m4 = Machine.make ~issue:4 ~nfu:1 () in
+  let small_benches =
+    List.map
+      (fun p -> Suite.load { p with Isched_perfect.Profile.n_generated = 2 })
+      Isched_perfect.Profile.all
+  in
+  let sched_new = Isched_core.Sync_sched.run graph m4 in
+  let tests =
+    [
+      (* One benchmark per reproduced artefact, as DESIGN.md indexes
+         them, plus the stage micro-benchmarks. *)
+      Test.make ~name:"table1-corpus-statistics"
+        (Staged.stage (fun () -> ignore (Report.table1 small_benches)));
+      Test.make ~name:"table2-measure-one-config"
+        (Staged.stage (fun () ->
+             ignore (Report.measure small_benches [ ("4-issue(#FU=1)", m4) ])));
+      Test.make ~name:"table3-improvement-metric"
+        (Staged.stage (fun () -> ignore (Report.improvement ~t_list:57790 ~t_new:47329)));
+      Test.make ~name:"fig4-list-scheduling"
+        (Staged.stage (fun () -> ignore (Isched_core.List_sched.run graph m4)));
+      Test.make ~name:"fig4-new-scheduling"
+        (Staged.stage (fun () -> ignore (Isched_core.Sync_sched.run graph m4)));
+      Test.make ~name:"stage-dependence-analysis"
+        (Staged.stage (fun () -> ignore (Isched_deps.Dep.analyze fig1)));
+      Test.make ~name:"stage-codegen"
+        (Staged.stage (fun () -> ignore (Isched_codegen.Codegen.compile fig1)));
+      Test.make ~name:"stage-dfg-build"
+        (Staged.stage (fun () -> ignore (Isched_dfg.Dfg.build prog)));
+      Test.make ~name:"stage-timing-simulation"
+        (Staged.stage (fun () -> ignore (Isched_sim.Timing.run sched_new)));
+      Test.make ~name:"stage-value-simulation"
+        (Staged.stage (fun () -> ignore (Isched_sim.Value.run sched_new)));
+    ]
+  in
+  let test = Test.make_grouped ~name:"isched" ~fmt:"%s/%s" tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 256) () in
+  let raw_results = Benchmark.all cfg [ instance ] test in
+  let results = Analyze.all ols instance raw_results in
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> Printf.printf "  %-40s %14.1f ns/run\n" name est
+         | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
+
+(* SVG artifacts for the worked example: both schedulers' wavefronts
+   and the new schedule's row layout. *)
+let artifacts () =
+  let dir = "artifacts" in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write name contents =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents);
+    Printf.printf "wrote %s\n" path
+  in
+  let prog = Isched_harness.Worked_example.fig2_program () in
+  let g = Isched_dfg.Dfg.build prog in
+  let m = Machine.make ~issue:4 ~nfu:1 () in
+  let s_list = Isched_core.List_sched.run g m in
+  let s_new = Isched_core.Sync_sched.run g m in
+  write "fig4-list-wavefront.svg" (Isched_sim.Viz.wavefront_svg ~max_iters:20 s_list);
+  write "fig4-new-wavefront.svg" (Isched_sim.Viz.wavefront_svg ~max_iters:20 s_new);
+  write "fig4-new-schedule.svg" (Isched_sim.Viz.schedule_svg s_new)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  fig_1_to_4 ();
+  let benches = Suite.all () in
+  tables benches;
+  ablations benches;
+  micro ();
+  artifacts ();
+  Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,346 @@
+(* ischedc - compiler-explorer CLI for the DOACROSS instruction
+   scheduling reproduction.
+
+   Subcommands:
+     compile  - parse, restructure, insert sync, emit three-address code
+     deps     - print the dependence analysis of each loop
+     dfg      - emit the data-flow graph (Graphviz dot)
+     sched    - schedule with both schedulers and report times
+     sim      - run the value-accurate simulation and the stale check
+     example  - the paper's Figs. 1-4 worked example
+     tables   - regenerate the paper's tables over the surrogate corpora *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_loops path =
+  let src = read_file path in
+  let name = Filename.remove_extension (Filename.basename path) in
+  let loops = Isched_frontend.Parser.parse ~name src in
+  List.iter Isched_frontend.Sema.check_exn loops;
+  loops
+
+(* --- common flags --- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-Fortran source file.")
+
+let restructure_flag =
+  Arg.(value & flag & info [ "restructure"; "r" ] ~doc:"Apply the Parafrase-surrogate restructuring first.")
+
+let issue_arg = Arg.(value & opt int 4 & info [ "issue" ] ~docv:"N" ~doc:"Issue width (default 4).")
+
+let nfu_arg =
+  Arg.(value & opt int 1 & info [ "nfu" ] ~docv:"N" ~doc:"Copies of each function unit (default 1).")
+
+let machine_term =
+  let make issue nfu = Isched_ir.Machine.make ~issue ~nfu () in
+  Term.(const make $ issue_arg $ nfu_arg)
+
+let unroll_arg =
+  Arg.(value & opt int 1 & info [ "unroll" ] ~docv:"U" ~doc:"Unroll the loop by U before compiling.")
+
+let spill_arg =
+  Arg.(value & opt (some int) None & info [ "spill-k" ] ~docv:"K"
+         ~doc:"Materialize spill code for a K-register file.")
+
+let nprocs_arg =
+  Arg.(value & opt (some int) None & info [ "nprocs" ] ~docv:"P"
+         ~doc:"Simulate with P processors (cyclic assignment) instead of one per iteration.")
+
+type which_sched = Sched_list | Sched_marker | Sched_new
+
+let scheduler_arg =
+  let which_conv =
+    Arg.enum [ ("list", Sched_list); ("marker", Sched_marker); ("new", Sched_new) ]
+  in
+  Arg.(value & opt (some which_conv) None & info [ "scheduler" ] ~docv:"WHICH"
+         ~doc:"Restrict to one scheduler: list, marker or new (default: compare all).")
+
+let run_scheduler which g machine =
+  match which with
+  | Sched_list -> Isched_core.List_sched.run g machine
+  | Sched_marker -> Isched_core.Marker_sched.run g machine
+  | Sched_new -> Isched_core.Sync_sched.run g machine
+
+let scheduler_title = function
+  | Sched_list -> "list scheduling"
+  | Sched_marker -> "marker-guided scheduling"
+  | Sched_new -> "new instruction scheduling"
+
+let maybe_unroll factor l = if factor > 1 then Isched_transform.Unroll.run l ~factor else l
+
+let maybe_spill k prog =
+  match k with
+  | None -> prog
+  | Some k ->
+    let r = Isched_codegen.Spill.insert prog ~k in
+    if r.Isched_codegen.Spill.n_spill_ops > 0 then
+      Format.printf "! spilled %d registers (%d memory operations added)@."
+        (List.length r.Isched_codegen.Spill.spilled)
+        r.Isched_codegen.Spill.n_spill_ops;
+    r.Isched_codegen.Spill.prog
+
+let maybe_restructure restructure l =
+  if restructure then begin
+    let r = Isched_transform.Restructure.run l in
+    List.iter
+      (fun a -> Format.printf "! %a@." Isched_transform.Restructure.pp_action a)
+      r.Isched_transform.Restructure.actions;
+    r.Isched_transform.Restructure.loop
+  end
+  else l
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let run file restructure =
+    List.iter
+      (fun l ->
+        let l = maybe_restructure restructure l in
+        Format.printf "! loop %s@." l.Isched_frontend.Ast.name;
+        if Isched_deps.Dep.is_doall l then
+          Format.printf "! DOALL after restructuring - no synchronization needed@.";
+        let plan = Isched_sync.Plan.build l in
+        Isched_sync.Plan.pp_annotated Format.std_formatter l plan;
+        let prog = Isched_codegen.Codegen.run l plan in
+        print_string (Isched_ir.Program.to_string prog);
+        print_newline ())
+      (load_loops file)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Emit annotated source and three-address code.")
+    Term.(const run $ file_arg $ restructure_flag)
+
+(* --- deps --- *)
+
+let deps_cmd =
+  let run file restructure =
+    List.iter
+      (fun l ->
+        let l = maybe_restructure restructure l in
+        Format.printf "loop %s (%s):@." l.Isched_frontend.Ast.name
+          (Isched_transform.Doall.category_name (Isched_transform.Doall.categorize l));
+        List.iter
+          (fun d -> Format.printf "  %s@." (Isched_deps.Dep.to_string d))
+          (Isched_deps.Dep.analyze l))
+      (load_loops file)
+  in
+  Cmd.v
+    (Cmd.info "deps" ~doc:"Print the dependence analysis of each loop.")
+    Term.(const run $ file_arg $ restructure_flag)
+
+(* --- dfg --- *)
+
+let dfg_cmd =
+  let run file restructure =
+    List.iter
+      (fun l ->
+        let l = maybe_restructure restructure l in
+        let prog = Isched_codegen.Codegen.compile l in
+        let g = Isched_dfg.Dfg.build prog in
+        Isched_dfg.Dfg.pp_dot Format.std_formatter g)
+      (load_loops file)
+  in
+  Cmd.v
+    (Cmd.info "dfg" ~doc:"Emit the data-flow graph in Graphviz dot syntax.")
+    Term.(const run $ file_arg $ restructure_flag)
+
+(* --- sched --- *)
+
+let sched_cmd =
+  let run file restructure machine wide unroll spill_k nprocs which =
+    List.iter
+      (fun l ->
+        let l = maybe_restructure restructure l in
+        let l = maybe_unroll unroll l in
+        let prog = maybe_spill spill_k (Isched_codegen.Codegen.compile l) in
+        let g = Isched_dfg.Dfg.build prog in
+        let report name s =
+          Format.printf "--- %s, %a ---@." name Isched_ir.Machine.pp machine;
+          if wide then Isched_core.Schedule.pp_wide Format.std_formatter s
+          else Isched_core.Schedule.pp Format.std_formatter s;
+          let t = Isched_sim.Timing.run ?n_procs:nprocs s in
+          Format.printf "cycles per iteration: %d; remaining LBD pairs: %d@." s.Isched_core.Schedule.length
+            (Isched_core.Lbd_model.n_lbd s);
+          Format.printf "parallel time over %d iterations%s: %d (analytic with full pool: %d)@.@."
+            prog.Isched_ir.Program.n_iters
+            (match nprocs with None -> "" | Some p -> Printf.sprintf " on %d processors" p)
+            t.Isched_sim.Timing.finish
+            (Isched_core.Lbd_model.exact_time s)
+        in
+        Format.printf "=== loop %s ===@." l.Isched_frontend.Ast.name;
+        match which with
+        | Some w -> report (scheduler_title w) (run_scheduler w g machine)
+        | None ->
+          List.iter
+            (fun w -> report (scheduler_title w) (run_scheduler w g machine))
+            [ Sched_list; Sched_marker; Sched_new ])
+      (load_loops file)
+  in
+  let wide =
+    Arg.(value & flag & info [ "wide" ] ~doc:"Print full instruction texts instead of numbers.")
+  in
+  Cmd.v
+    (Cmd.info "sched" ~doc:"Schedule each loop and report times (list, marker and new schedulers).")
+    Term.(
+      const run $ file_arg $ restructure_flag $ machine_term $ wide $ unroll_arg $ spill_arg
+      $ nprocs_arg $ scheduler_arg)
+
+(* --- sim --- *)
+
+let sim_cmd =
+  let run file restructure machine =
+    List.iter
+      (fun l ->
+        let l = maybe_restructure restructure l in
+        let prog = Isched_codegen.Codegen.compile l in
+        let g = Isched_dfg.Dfg.build prog in
+        let s = Isched_core.Sync_sched.run g machine in
+        let v = Isched_sim.Value.run s in
+        let seq_log = Isched_exec.Readlog.create () in
+        let seq_mem = Isched_exec.Prog_interp.run ~log:seq_log prog in
+        let stale =
+          Isched_exec.Readlog.compare_logs ~reference:seq_log ~actual:v.Isched_sim.Value.log
+        in
+        Format.printf
+          "loop %s: finished in %d cycles; memory %s the sequential reference; %d stale reads; %d races@."
+          l.Isched_frontend.Ast.name v.Isched_sim.Value.finish
+          (if Isched_exec.Memory.equal seq_mem v.Isched_sim.Value.memory then "matches"
+           else "DIFFERS FROM")
+          (List.length stale)
+          (List.length v.Isched_sim.Value.races))
+      (load_loops file)
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Value-accurate parallel simulation with the stale-data check.")
+    Term.(const run $ file_arg $ restructure_flag $ machine_term)
+
+(* --- asm --- *)
+
+let asm_cmd =
+  let run file restructure machine unroll spill_k k scheduled which =
+    List.iter
+      (fun l ->
+        let l = maybe_restructure restructure l in
+        let l = maybe_unroll unroll l in
+        let prog = maybe_spill spill_k (Isched_codegen.Codegen.compile l) in
+        let result =
+          if scheduled then begin
+            let g = Isched_dfg.Dfg.build prog in
+            let w = Option.value ~default:Sched_new which in
+            Isched_codegen.Asm.emit_schedule ~k (run_scheduler w g machine)
+          end
+          else Isched_codegen.Asm.emit ~k prog
+        in
+        match result with
+        | Ok text -> print_string text
+        | Error e -> Format.printf "error: %s@." e)
+      (load_loops file)
+  in
+  let k = Arg.(value & opt int 16 & info [ "regs" ] ~docv:"K" ~doc:"Physical registers (default 16).") in
+  let scheduled =
+    Arg.(value & flag & info [ "scheduled" ] ~doc:"Emit the scheduled VLIW-style bundles instead of program order.")
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Emit DLX-flavoured assembly with physical registers.")
+    Term.(
+      const run $ file_arg $ restructure_flag $ machine_term $ unroll_arg $ spill_arg $ k
+      $ scheduled $ scheduler_arg)
+
+(* --- viz --- *)
+
+let viz_cmd =
+  let run file restructure machine unroll nprocs which out =
+    List.iter
+      (fun l ->
+        let l = maybe_restructure restructure l in
+        let l = maybe_unroll unroll l in
+        let prog = Isched_codegen.Codegen.compile l in
+        let g = Isched_dfg.Dfg.build prog in
+        let w = Option.value ~default:Sched_new which in
+        let s = run_scheduler w g machine in
+        print_string (Isched_sim.Viz.wavefront_ascii ?n_procs:nprocs s);
+        match out with
+        | None -> ()
+        | Some prefix ->
+          let write path contents =
+            let oc = open_out path in
+            Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents);
+            Format.printf "wrote %s@." path
+          in
+          write
+            (Printf.sprintf "%s-%s-wavefront.svg" prefix l.Isched_frontend.Ast.name)
+            (Isched_sim.Viz.wavefront_svg ?n_procs:nprocs s);
+          write
+            (Printf.sprintf "%s-%s-schedule.svg" prefix l.Isched_frontend.Ast.name)
+            (Isched_sim.Viz.schedule_svg s))
+      (load_loops file)
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"PREFIX"
+           ~doc:"Also write PREFIX-<loop>-wavefront.svg and PREFIX-<loop>-schedule.svg.")
+  in
+  Cmd.v
+    (Cmd.info "viz"
+       ~doc:"Render the execution wavefront (ASCII, optionally SVG) of each loop's schedule.")
+    Term.(
+      const run $ file_arg $ restructure_flag $ machine_term $ unroll_arg $ nprocs_arg
+      $ scheduler_arg $ out)
+
+(* --- example --- *)
+
+let example_cmd =
+  let run () = print_string (Isched_harness.Worked_example.report ()) in
+  Cmd.v
+    (Cmd.info "example" ~doc:"Print the paper's Figs. 1-4 worked example.")
+    Term.(const run $ const ())
+
+(* --- tables --- *)
+
+let tables_cmd =
+  let run which =
+    let benches = Isched_perfect.Suite.all () in
+    let print_t t = Isched_util.Table.print t in
+    let table23 () =
+      Isched_harness.Report.measure benches Isched_ir.Machine.paper_configs
+    in
+    (match which with
+    | "table1" -> print_t (Isched_harness.Report.table1 benches)
+    | "table2" -> print_t (Isched_harness.Report.table2 (table23 ()))
+    | "table3" -> print_t (Isched_harness.Report.table3 (table23 ()))
+    | "categories" -> print_t (Isched_harness.Report.categories benches)
+    | "all" ->
+      print_t (Isched_harness.Report.table1 benches);
+      let ms = table23 () in
+      print_t (Isched_harness.Report.table2 ms);
+      print_t (Isched_harness.Report.table3 ms);
+      print_t (Isched_harness.Report.categories benches)
+    | other -> invalid_arg ("unknown table: " ^ other))
+  in
+  let which =
+    Arg.(value & opt string "all" & info [ "which" ] ~docv:"WHICH"
+           ~doc:"One of table1, table2, table3, categories, all.")
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables over the surrogate corpora.")
+    Term.(const run $ which)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "ischedc" ~version:"1.0.0"
+      ~doc:"Synchronization-aware instruction scheduling for DOACROSS loops (IPPS'97 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            compile_cmd; deps_cmd; dfg_cmd; sched_cmd; sim_cmd; asm_cmd; viz_cmd; example_cmd;
+            tables_cmd;
+          ]))

@@ -1,0 +1,94 @@
+(* Architecture study: where does a DOACROSS multiprocessor actually pay
+   off?
+
+   Run with:  dune exec examples/architecture_study.exe
+
+   Three kernels span the spectrum:
+   - a fully convertible loop (consumers only): embarrassingly
+     overlappable once the new scheduler converts its LBDs;
+   - the paper's Fig. 1 loop: one unavoidable distance-2 chain;
+   - a tight multiplicative recurrence (the QCD shape): the chain *is*
+     the loop.
+
+   For each, the example compares one serial CPU, one software-pipelined
+   CPU (iterative modulo scheduling — no synchronization needed on one
+   processor) and the n-processor DOACROSS execution under the paper's
+   scheduler, then draws the execution wavefronts that explain the
+   numbers. *)
+
+module Table = Isched_util.Table
+
+let kernels =
+  [
+    ( "convertible",
+      {|DOACROSS I = 1, 100
+  S1: O1[I] = A[I-1] * C[I]
+  S2: O2[I] = A[I-2] + E[I]
+  S3: A[I] = E[I+1] + C[I-1]
+ENDDO|} );
+    ( "fig1",
+      {|DOACROSS I = 1, 100
+  S1: B[I] = A[I-2] + E[I+1]
+  S2: G[I-3] = A[I-1] * E[I+2]
+  S3: A[I] = B[I] + C[I+3]
+ENDDO|} );
+    ( "qcd-shape",
+      {|DOACROSS I = 1, 100
+  S1: LNK[I] = LNK[I-1] * C[I] + E[I]
+ENDDO|} );
+  ]
+
+let () =
+  let machine = Isched_ir.Machine.make ~issue:4 ~nfu:1 () in
+  let t =
+    Table.create ~title:"one CPU vs n CPUs, 4-issue #FU=1, n = 100 iterations"
+      ~columns:
+        [
+          ("kernel", Table.Left);
+          ("serial", Table.Right);
+          ("modulo 1-cpu (II)", Table.Right);
+          ("doacross n-cpu", Table.Right);
+          ("doacross P=8", Table.Right);
+          ("winner", Table.Left);
+        ]
+  in
+  let results =
+    List.map
+      (fun (name, src) ->
+        let l = Isched_frontend.Parser.parse_loop ~name src in
+        let prog = Isched_codegen.Codegen.compile l in
+        let g = Isched_dfg.Dfg.build prog in
+        let real_ops =
+          Array.fold_left
+            (fun acc ins -> if Isched_ir.Instr.is_sync ins then acc else acc + 1)
+            0 prog.Isched_ir.Program.body
+        in
+        let serial = prog.Isched_ir.Program.n_iters * real_ops in
+        let ms = Isched_core.Modulo_sched.run g machine in
+        let modulo = Isched_core.Modulo_sched.total_time ms in
+        let sched = Isched_core.Sync_sched.run g machine in
+        let doacross = (Isched_sim.Timing.run sched).Isched_sim.Timing.finish in
+        let doacross8 = (Isched_sim.Timing.run ~n_procs:8 sched).Isched_sim.Timing.finish in
+        let winner = if modulo <= doacross then "1 pipelined CPU" else "n-CPU DOACROSS" in
+        Table.add_row t
+          [
+            name;
+            Table.fmt_int serial;
+            Printf.sprintf "%d (II=%d)" modulo ms.Isched_core.Modulo_sched.ii;
+            Table.fmt_int doacross;
+            Table.fmt_int doacross8;
+            winner;
+          ];
+        (name, sched))
+      kernels
+  in
+  Table.print t;
+  print_endline
+    "\nThe recurrence-bound kernel needs no multiprocessor at all: software pipelining\n\
+     on one 4-issue CPU already runs at the recurrence limit.  The wavefronts show why:\n";
+  List.iter
+    (fun (name, sched) ->
+      print_endline ("--- " ^ name ^ " ---");
+      print_string (Isched_sim.Viz.wavefront_ascii ~max_iters:12 sched);
+      print_newline ())
+    results

@@ -1,0 +1,56 @@
+(* The motivating bug (paper, Section 1): after instruction scheduling
+   "dependence sink may be scheduled before its corresponding
+   Wait_Signal.  This action will have a chance to access stale data."
+
+   This example schedules the same loop twice with the same list
+   scheduler: once over a data-flow graph WITHOUT the paper's
+   synchronization-condition arcs, once WITH them, and runs both on the
+   value-accurate multiprocessor simulator.  The first execution reads
+   stale array elements and corrupts the result; the second is exact.
+
+   Run with:  dune exec examples/stale_data_demo.exe *)
+
+let source =
+  {|DOACROSS I = 1, 100
+  S1: B[I] = A[I-2] + E[I+1]
+  S2: G[I-3] = A[I-1] * E[I+2]
+  S3: A[I] = B[I] + C[I+3]
+ENDDO
+|}
+
+let run_case ~sync_arcs prog machine =
+  let g = Isched_dfg.Dfg.build ~sync_arcs prog in
+  let s = Isched_core.List_sched.run g machine in
+  let v = Isched_sim.Value.run s in
+  let seq_log = Isched_exec.Readlog.create () in
+  let seq_mem = Isched_exec.Prog_interp.run ~log:seq_log prog in
+  let stale = Isched_exec.Readlog.compare_logs ~reference:seq_log ~actual:v.Isched_sim.Value.log in
+  let mem_ok = Isched_exec.Memory.equal seq_mem v.Isched_sim.Value.memory in
+  (s, stale, mem_ok, Isched_exec.Memory.diff seq_mem v.Isched_sim.Value.memory)
+
+let () =
+  let loop = Isched_frontend.Parser.parse_loop ~name:"stale" source in
+  let prog = Isched_codegen.Codegen.compile loop in
+  let machine = Isched_ir.Machine.make ~issue:4 ~nfu:1 () in
+
+  print_endline "--- list scheduling WITHOUT the synchronization-condition arcs ---";
+  let s0, stale0, ok0, diff0 = run_case ~sync_arcs:false prog machine in
+  Printf.printf "schedule length: %d rows\n" s0.Isched_core.Schedule.length;
+  Printf.printf "final memory matches the sequential reference: %b\n" ok0;
+  Printf.printf "stale reads detected: %d\n" (List.length stale0);
+  (match stale0 with
+  | m :: _ ->
+    Format.printf "first stale read: %a@." Isched_exec.Readlog.pp_mismatch m
+  | [] -> ());
+  (match diff0 with
+  | d :: _ -> Printf.printf "first corrupted cell: %s\n" d
+  | [] -> ());
+
+  print_endline "\n--- list scheduling WITH the synchronization-condition arcs ---";
+  let _, stale1, ok1, _ = run_case ~sync_arcs:true prog machine in
+  Printf.printf "final memory matches the sequential reference: %b\n" ok1;
+  Printf.printf "stale reads detected: %d\n" (List.length stale1);
+
+  print_endline
+    "\nThe extra arcs (Src -> Send, Wait -> Snk) are exactly the paper's synchronization\n\
+     conditions; with them even the baseline scheduler can never see stale data."

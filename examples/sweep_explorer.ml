@@ -1,0 +1,84 @@
+(* Machine-design exploration beyond the paper's four configurations:
+   issue widths 1-8, function-unit counts 1-4, pipelined multipliers,
+   and the register-pressure cost of each schedule.
+
+   Run with:  dune exec examples/sweep_explorer.exe *)
+
+module Table = Isched_util.Table
+
+let source =
+  {|DOACROSS I = 1, 100
+  S1: GAIN[I] = EST[I-1] * C[I] + R[I]
+  S2: INOV[I] = Q[I+1] - GAIN[I] * D[I]
+  S3: COV[I] = EST[I-2] * E[I] + R[I-1]
+  S4: LOGP[I] = C[I+2] * D[I-2] + Q[I]
+  S5: EST[I] = EST[I-1] + E[I]
+ENDDO
+|}
+
+let order_of_schedule (s : Isched_core.Schedule.t) =
+  Array.concat (Array.to_list s.Isched_core.Schedule.rows)
+
+let () =
+  let loop = Isched_frontend.Parser.parse_loop ~name:"tracker" source in
+  let prog = Isched_codegen.Codegen.compile loop in
+  let g = Isched_dfg.Dfg.build prog in
+
+  (* Sweep issue width and unit count. *)
+  let t =
+    Table.create ~title:"improvement of the new scheduler across machine shapes"
+      ~columns:
+        ([ ("issue \\ #FU", Table.Left) ]
+        @ List.map (fun nfu -> (Printf.sprintf "#FU=%d" nfu, Table.Right)) [ 1; 2; 4 ])
+  in
+  List.iter
+    (fun issue ->
+      let cells =
+        List.map
+          (fun nfu ->
+            let machine = Isched_ir.Machine.make ~issue ~nfu () in
+            let ta =
+              (Isched_sim.Timing.run (Isched_core.List_sched.run g machine)).Isched_sim.Timing.finish
+            in
+            let tb =
+              (Isched_sim.Timing.run (Isched_core.Sync_sched.run g machine)).Isched_sim.Timing.finish
+            in
+            Table.fmt_pct (100. *. float_of_int (ta - tb) /. float_of_int ta))
+          [ 1; 2; 4 ]
+      in
+      Table.add_row t (Printf.sprintf "%d-issue" issue :: cells))
+    [ 1; 2; 4; 8 ];
+  Table.print t;
+
+  (* Does pipelining the multi-cycle units change the picture? *)
+  let t2 =
+    Table.create ~title:"4-issue, #FU=1: non-pipelined vs pipelined multiplier/divider"
+      ~columns:
+        [ ("variant", Table.Left); ("T list", Table.Right); ("T new", Table.Right) ]
+  in
+  List.iter
+    (fun (name, pipelined) ->
+      let machine = Isched_ir.Machine.make ~pipelined ~issue:4 ~nfu:1 () in
+      let ta =
+        (Isched_sim.Timing.run (Isched_core.List_sched.run g machine)).Isched_sim.Timing.finish
+      in
+      let tb =
+        (Isched_sim.Timing.run (Isched_core.Sync_sched.run g machine)).Isched_sim.Timing.finish
+      in
+      Table.add_row t2 [ name; string_of_int ta; string_of_int tb ])
+    [ ("non-pipelined", false); ("pipelined", true) ];
+  Table.print t2;
+
+  (* Register pressure: does shortening the synchronization path cost
+     registers? *)
+  let machine = Isched_ir.Machine.make ~issue:4 ~nfu:1 () in
+  let sa = Isched_core.List_sched.run g machine in
+  let sb = Isched_core.Sync_sched.run g machine in
+  let pressure order = Isched_codegen.Regalloc.max_pressure prog ~order in
+  Printf.printf "\nregister pressure: original order %d, list schedule %d, new schedule %d\n"
+    (pressure (Isched_codegen.Regalloc.original_order prog))
+    (pressure (order_of_schedule sa))
+    (pressure (order_of_schedule sb));
+  let alloc = Isched_codegen.Regalloc.linear_scan prog ~order:(order_of_schedule sb) ~k:16 in
+  Printf.printf "linear scan with 16 registers on the new schedule: %d spills\n"
+    alloc.Isched_codegen.Regalloc.spills

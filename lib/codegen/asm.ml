@@ -1,0 +1,104 @@
+module Program = Isched_ir.Program
+module Instr = Isched_ir.Instr
+module Operand = Isched_ir.Operand
+
+(* Physical names: r1..rk for allocated temporaries, rI for the loop
+   index.  r0 is conventionally zero and never allocated. *)
+let reg_name assignment r =
+  let a = assignment.(r) in
+  assert (a >= 0);
+  Printf.sprintf "r%d" (a + 1)
+
+let operand assignment = function
+  | Operand.Reg r -> reg_name assignment r
+  | Operand.Imm i -> Printf.sprintf "#%d" i
+  | Operand.Fimm f -> Printf.sprintf "#%g" f
+  | Operand.Ivar -> "rI"
+
+let mnemonic (op : Instr.binop) ~imm =
+  let base =
+    match op with
+    | Instr.Add -> "add"
+    | Instr.Sub -> "sub"
+    | Instr.Mul -> "mult"
+    | Instr.Div -> "div"
+    | Instr.Shl -> "sll"
+    | Instr.Shr -> "sra"
+    | Instr.FAdd -> "addf"
+    | Instr.FSub -> "subf"
+    | Instr.FMul -> "multf"
+    | Instr.FDiv -> "divf"
+    | Instr.CmpLt -> "slt"
+    | Instr.CmpLe -> "sle"
+    | Instr.CmpGt -> "sgt"
+    | Instr.CmpGe -> "sge"
+    | Instr.CmpEq -> "seq"
+    | Instr.CmpNe -> "sne"
+  in
+  if imm then base ^ "i" else base
+
+let is_imm = function Operand.Imm _ | Operand.Fimm _ -> true | _ -> false
+
+let render_instr (p : Program.t) assignment i =
+  let op = operand assignment in
+  match p.Program.body.(i) with
+  | Instr.Bin { op = bop; dst; a; b } ->
+    Printf.sprintf "%-6s %s, %s, %s"
+      (mnemonic bop ~imm:(is_imm a || is_imm b))
+      (reg_name assignment dst) (op a) (op b)
+  | Instr.Select { dst; cond; if_true; if_false } ->
+    Printf.sprintf "%-6s %s, %s, %s, %s" "cmov" (reg_name assignment dst) (op cond) (op if_true)
+      (op if_false)
+  | Instr.Load { dst; base; addr } ->
+    Printf.sprintf "%-6s %s, %s(%s)" "lw" (reg_name assignment dst) base (op addr)
+  | Instr.Store { base; addr; src } ->
+    Printf.sprintf "%-6s %s, %s(%s)" "sw" (op src) base (op addr)
+  | Instr.Load_scalar { dst; name } ->
+    Printf.sprintf "%-6s %s, %s" "lw" (reg_name assignment dst) name
+  | Instr.Store_scalar { name; src } -> Printf.sprintf "%-6s %s, %s" "sw" (op src) name
+  | Instr.Send { signal } -> Printf.sprintf "%-6s %s" "send" (Program.signal_label p signal)
+  | Instr.Wait { wait } -> Printf.sprintf "%-6s %s" "wait" (Program.wait_label p wait)
+
+let allocate (p : Program.t) ~order ~k =
+  let alloc = Regalloc.linear_scan p ~order ~k in
+  if alloc.Regalloc.spills > 0 then
+    Error
+      (Printf.sprintf
+         "%d registers are not enough for %s (%d virtual registers spill; run Spill.insert first)"
+         k p.Program.name alloc.Regalloc.spills)
+  else Ok alloc.Regalloc.assignment
+
+let header (p : Program.t) ~k what =
+  Printf.sprintf
+    "; %s of loop %s: %d iterations, %d instructions, %d physical registers (+rI)\n\
+     ; DLX-flavoured: immediates (#v) may appear in either operand position\n"
+    what p.Program.name p.Program.n_iters (Array.length p.Program.body) k
+
+let emit ~k (p : Program.t) =
+  let order = Regalloc.original_order p in
+  match allocate p ~order ~k with
+  | Error _ as e -> e
+  | Ok assignment ->
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf (header p ~k "assembly");
+    Array.iteri
+      (fun i _ -> Buffer.add_string buf (Printf.sprintf "%4d: %s\n" (i + 1) (render_instr p assignment i)))
+      p.Program.body;
+    Ok (Buffer.contents buf)
+
+let emit_schedule ~k (s : Isched_core.Schedule.t) =
+  let p = s.Isched_core.Schedule.prog in
+  let order = Array.concat (Array.to_list s.Isched_core.Schedule.rows) in
+  match allocate p ~order ~k with
+  | Error _ as e -> e
+  | Ok assignment ->
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf (header p ~k "scheduled assembly");
+    Array.iteri
+      (fun row nodes ->
+        let cells = Array.to_list (Array.map (render_instr p assignment) nodes) in
+        Buffer.add_string buf
+          (Printf.sprintf "%4d: %s ;;\n" (row + 1)
+             (if cells = [] then "nop" else String.concat " ; " cells)))
+      s.Isched_core.Schedule.rows;
+    Ok (Buffer.contents buf)

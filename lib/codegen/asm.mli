@@ -1,0 +1,25 @@
+(** DLX-flavoured assembly emission with physical registers.
+
+    The schedulers work on virtual registers (Fig. 2's [t1..t21]); this
+    backend maps them onto a finite register file with
+    {!Regalloc.linear_scan} over the emission order and renders readable
+    assembly: [add]/[addi], [addf], [mult], [slli], [lw]/[sw] with the
+    array symbol as the base, [send]/[wait] for the synchronization
+    operations, and the reserved name [rI] for the loop index.  Immediate
+    operands may appear in either position (a deliberate readability
+    deviation from strict DLX, flagged in the header comment).
+
+    Emission fails — rather than silently produce wrong code — when the
+    register file is too small: callers should first materialize spill
+    code with {!Spill.insert} and retry. *)
+
+module Program := Isched_ir.Program
+
+(** [emit ~k p] — the body in original program order, one instruction
+    per line, numbered.  [Error msg] when [k] registers do not suffice
+    without spilling. *)
+val emit : k:int -> Program.t -> (string, string) result
+
+(** [emit_schedule ~k s] — the scheduled code as one VLIW-style bundle
+    per row ([;;]-terminated), allocated over the schedule order. *)
+val emit_schedule : k:int -> Isched_core.Schedule.t -> (string, string) result

@@ -1,0 +1,92 @@
+module Program = Isched_ir.Program
+module Instr = Isched_ir.Instr
+
+let original_order (p : Program.t) = Array.init (Array.length p.Program.body) (fun i -> i)
+
+let live_ranges (p : Program.t) ~order =
+  let n = Array.length p.Program.body in
+  if Array.length order <> n then invalid_arg "Regalloc.live_ranges: order length mismatch";
+  let ranges = Array.make p.Program.n_regs (-1, -1) in
+  Array.iteri
+    (fun pos i ->
+      let ins = p.Program.body.(i) in
+      (match Instr.def ins with
+      | Some r ->
+        let _, stop = ranges.(r) in
+        ranges.(r) <- (pos, max pos stop)
+      | None -> ());
+      List.iter
+        (fun r ->
+          let start, stop = ranges.(r) in
+          ranges.(r) <- (start, max stop pos))
+        (Instr.uses ins))
+    order;
+  (* A register never defined (cannot happen for validated programs) or
+     never used keeps stop = start. *)
+  Array.map (fun (a, b) -> (a, max a b)) ranges
+
+let max_pressure p ~order =
+  let ranges = live_ranges p ~order in
+  let n = Array.length order in
+  let delta = Array.make (n + 2) 0 in
+  Array.iter
+    (fun (start, stop) ->
+      if start >= 0 then begin
+        delta.(start) <- delta.(start) + 1;
+        delta.(stop + 1) <- delta.(stop + 1) - 1
+      end)
+    ranges;
+  let cur = ref 0 and best = ref 0 in
+  Array.iter
+    (fun d ->
+      cur := !cur + d;
+      best := max !best !cur)
+    delta;
+  !best
+
+type allocation = { k : int; assignment : int array; spills : int; max_pressure : int }
+
+let linear_scan (p : Program.t) ~order ~k =
+  if k <= 0 then invalid_arg "Regalloc.linear_scan: k must be positive";
+  let ranges = live_ranges p ~order in
+  let intervals =
+    ranges |> Array.to_list
+    |> List.mapi (fun r (start, stop) -> (r, start, stop))
+    |> List.filter (fun (_, start, _) -> start >= 0)
+    |> List.sort (fun (_, s1, _) (_, s2, _) -> compare s1 s2)
+  in
+  let assignment = Array.make (max 1 p.Program.n_regs) (-1) in
+  let free = Queue.create () in
+  for i = 0 to k - 1 do
+    Queue.push i free
+  done;
+  (* active: (stop, vreg) sorted by stop ascending *)
+  let active = ref [] in
+  let spills = ref 0 in
+  let expire start =
+    let expired, still = List.partition (fun (stop, _) -> stop < start) !active in
+    List.iter (fun (_, r) -> Queue.push assignment.(r) free) expired;
+    active := still
+  in
+  List.iter
+    (fun (r, start, stop) ->
+      expire start;
+      if Queue.is_empty free then begin
+        (* Spill the interval that ends furthest away. *)
+        match List.rev !active with
+        | (last_stop, last_r) :: _ when last_stop > stop ->
+          assignment.(r) <- assignment.(last_r);
+          assignment.(last_r) <- -1;
+          incr spills;
+          active :=
+            List.sort compare ((stop, r) :: List.filter (fun (_, x) -> x <> last_r) !active)
+        | _ ->
+          assignment.(r) <- -1;
+          incr spills
+      end
+      else begin
+        assignment.(r) <- Queue.pop free;
+        active := List.sort compare ((stop, r) :: !active)
+      end)
+    intervals;
+  { k; assignment; spills = !spills; max_pressure = max_pressure p ~order }

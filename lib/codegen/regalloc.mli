@@ -1,0 +1,41 @@
+(** Register allocation analysis (linear scan) for the virtual
+    registers of a compiled loop body.
+
+    The code generator emits an unbounded set of single-assignment
+    temporaries (like Fig. 2's [t1..t21]); real DLX hardware has a fixed
+    register file, which is why the paper's compiler uses delayed loads
+    "to effectively use the limited registers".  This module measures
+    the consequences: live ranges, maximum register pressure, and a
+    classic linear-scan allocation with furthest-end spilling — for any
+    linear instruction order, so the pressure of the original code, the
+    list schedule and the sync-aware schedule can be compared (the
+    benchmark harness reports this as an ablation). *)
+
+module Program := Isched_ir.Program
+
+(** [order] is a permutation of body indices giving the linear
+    execution order to analyze; {!original_order} is the identity.
+    For a schedule, flatten its rows. *)
+
+val original_order : Program.t -> int array
+
+(** [live_ranges p ~order] — for every virtual register, the half-open
+    position interval [(start, stop)] in [order] positions: from its
+    definition to its last use ([stop = start] when never used). *)
+val live_ranges : Program.t -> order:int array -> (int * int) array
+
+(** [max_pressure p ~order] — the maximum number of simultaneously live
+    registers. *)
+val max_pressure : Program.t -> order:int array -> int
+
+type allocation = {
+  k : int;  (** physical registers available *)
+  assignment : int array;  (** virtual -> physical, [-1] if spilled *)
+  spills : int;  (** number of spilled virtual registers *)
+  max_pressure : int;
+}
+
+(** [linear_scan p ~order ~k] — Poletto-Sarkar linear scan with
+    furthest-endpoint spilling.  Raises [Invalid_argument] when
+    [k <= 0]. *)
+val linear_scan : Program.t -> order:int array -> k:int -> allocation

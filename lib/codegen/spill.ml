@@ -1,0 +1,112 @@
+module Program = Isched_ir.Program
+module Instr = Isched_ir.Instr
+module Operand = Isched_ir.Operand
+module Vec = Isched_util.Vec
+
+type result = { prog : Program.t; spilled : int list; n_spill_ops : int }
+
+let slot_base r = Printf.sprintf "spill_r%d" r
+
+let insert (p : Program.t) ~k =
+  let order = Regalloc.original_order p in
+  let alloc = Regalloc.linear_scan p ~order ~k in
+  let spilled =
+    Array.to_list (Array.mapi (fun r a -> (r, a)) alloc.Regalloc.assignment)
+    |> List.filter_map (fun (r, a) -> if a < 0 then Some r else None)
+  in
+  if spilled = [] then { prog = p; spilled = []; n_spill_ops = 0 }
+  else begin
+    let is_spilled = Array.make p.Program.n_regs false in
+    List.iter (fun r -> is_spilled.(r) <- true) spilled;
+    let next_reg = ref p.Program.n_regs in
+    let fresh () =
+      let r = !next_reg in
+      incr next_reg;
+      r
+    in
+    let body = Vec.create () in
+    let mem = Vec.create () in
+    let stmts = Vec.create () in
+    let new_index = Array.make (Array.length p.Program.body) (-1) in
+    let n_spill_ops = ref 0 in
+    (* The slot address is the iteration's byte index; one shared
+       computation, defined up front. *)
+    let addr_reg = fresh () in
+    let emit stmt ?m ins =
+      Vec.push body ins;
+      Vec.push mem m;
+      Vec.push stmts stmt
+    in
+    emit 0 (Instr.Bin { op = Instr.Shl; dst = addr_reg; a = Operand.Ivar; b = Operand.Imm 2 });
+    let slot_ref r = { Program.base = slot_base r; affine = Some (1, 0) } in
+    Array.iteri
+      (fun i ins ->
+        let stmt = p.Program.stmt_of.(i) in
+        (* Reload spilled operands into fresh registers. *)
+        let reload_cache = Hashtbl.create 4 in
+        let reload r =
+          match Hashtbl.find_opt reload_cache r with
+          | Some r' -> r'
+          | None ->
+            let r' = fresh () in
+            incr n_spill_ops;
+            emit stmt ~m:(slot_ref r)
+              (Instr.Load { dst = r'; base = slot_base r; addr = Operand.Reg addr_reg });
+            Hashtbl.add reload_cache r r';
+            r'
+        in
+        let op o =
+          match o with
+          | Operand.Reg r when is_spilled.(r) -> Operand.Reg (reload r)
+          | _ -> o
+        in
+        let ins' =
+          match ins with
+          | Instr.Bin b -> Instr.Bin { b with a = op b.a; b = op b.b }
+          | Instr.Select s ->
+            Instr.Select { s with cond = op s.cond; if_true = op s.if_true; if_false = op s.if_false }
+          | Instr.Load l -> Instr.Load { l with addr = op l.addr }
+          | Instr.Store s -> Instr.Store { s with addr = op s.addr; src = op s.src }
+          | Instr.Load_scalar _ | Instr.Store_scalar _ | Instr.Send _ | Instr.Wait _ -> (
+            match ins with
+            | Instr.Store_scalar s -> Instr.Store_scalar { s with src = op s.src }
+            | other -> other)
+        in
+        new_index.(i) <- Vec.length body;
+        emit stmt ?m:p.Program.mem.(i) ins';
+        (* Store a spilled definition right after it. *)
+        match Instr.def ins' with
+        | Some d when is_spilled.(d) ->
+          incr n_spill_ops;
+          emit stmt ~m:(slot_ref d)
+            (Instr.Store { base = slot_base d; addr = Operand.Reg addr_reg; src = Operand.Reg d })
+        | _ -> ())
+      p.Program.body;
+    let remap i = new_index.(i) in
+    let signals =
+      Array.map
+        (fun (s : Program.signal_info) ->
+          { s with Program.src_instr = remap s.src_instr; send_instr = remap s.send_instr })
+        p.Program.signals
+    in
+    let waits =
+      Array.map
+        (fun (w : Program.wait_info) ->
+          { w with Program.snk_instr = remap w.snk_instr; wait_instr = remap w.wait_instr })
+        p.Program.waits
+    in
+    let prog =
+      {
+        p with
+        Program.body = Vec.to_array body;
+        mem = Vec.to_array mem;
+        stmt_of = Vec.to_array stmts;
+        signals;
+        waits;
+        n_regs = !next_reg;
+        name = Printf.sprintf "%s.k%d" p.Program.name k;
+      }
+    in
+    Program.validate prog;
+    { prog; spilled; n_spill_ops = !n_spill_ops }
+  end

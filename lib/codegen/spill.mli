@@ -1,0 +1,34 @@
+(** Spill-code materialization for a finite register file.
+
+    The paper's compiler worried about "the limited registers" (hence
+    delayed loads); this module makes the cost concrete.  Given a
+    program and [k] physical registers, {!Regalloc.linear_scan} (over
+    the original instruction order — allocation before scheduling, the
+    classic phase order) decides which virtual registers spill, and the
+    body is rewritten:
+
+    - after a spilled register's definition, a store to a private spill
+      slot ([spill_r<n>[4*I]] — indexed by the iteration, so the slot
+      is processor-private exactly like a stack slot);
+    - before every use, a reload into a fresh virtual register.
+
+    The rewritten program still satisfies single assignment and all
+    {!Isched_ir.Program.validate} invariants; the spill loads and stores
+    compete for the load/store unit like any other memory operation, so
+    scheduling the result measures how register pressure interacts with
+    the synchronization spans (the "register study" bench table).
+
+    Virtual registers are kept virtual — the rewrite models spill
+    traffic, not physical-register anti-dependences. *)
+
+module Program := Isched_ir.Program
+
+type result = {
+  prog : Program.t;  (** the rewritten program ([== input] if no spills) *)
+  spilled : int list;  (** virtual registers that went to memory *)
+  n_spill_ops : int;  (** stores + reloads inserted *)
+}
+
+(** [insert p ~k] — spill-rewrite for [k] registers.
+    Raises [Invalid_argument] if [k <= 0]. *)
+val insert : Program.t -> k:int -> result

@@ -1,0 +1,47 @@
+module Program = Isched_ir.Program
+
+type pair_report = {
+  wait_id : int;
+  signal : int;
+  distance : int;
+  wait_pos : int;
+  send_pos : int;
+  is_lbd : bool;
+  paper_time : int;
+  exact_time : int;
+}
+
+let pairs (s : Schedule.t) =
+  let p = s.Schedule.prog in
+  let n = p.Program.n_iters in
+  let l = s.Schedule.length in
+  Array.to_list p.Program.waits
+  |> List.map (fun (w : Program.wait_info) ->
+         let send = p.Program.signals.(w.signal).send_instr in
+         let i = Schedule.position s send and j = Schedule.position s w.wait_instr in
+         let d = max 1 w.distance in
+         let links = (n - 1) / d in
+         {
+           wait_id = w.wait;
+           signal = w.signal;
+           distance = d;
+           wait_pos = j;
+           send_pos = i;
+           is_lbd = i >= j;
+           paper_time = max l ((n / d * (i - j)) + l);
+           exact_time = (links * max 0 (i - j + 1)) + l;
+         })
+
+let n_lbd s = List.length (List.filter (fun r -> r.is_lbd) (pairs s))
+
+let fold_time f s =
+  List.fold_left (fun acc r -> max acc (f r)) s.Schedule.length (pairs s)
+
+let paper_time s = fold_time (fun r -> r.paper_time) s
+let exact_time s = fold_time (fun r -> r.exact_time) s
+
+let pp_report ppf r =
+  Format.fprintf ppf "wait %d on sig%d d=%d: j=%d i=%d %s paper=%d exact=%d" r.wait_id r.signal
+    r.distance r.wait_pos r.send_pos
+    (if r.is_lbd then "LBD" else "LFD")
+    r.paper_time r.exact_time

@@ -1,0 +1,41 @@
+(** The LBD loop theorem as an analytic model (Section 2).
+
+    For a synchronization pair whose send is scheduled at position [i]
+    and wait at position [j] (1-based cycles), dependence distance [d],
+    iteration count [n] and schedule length [l]:
+
+    - if [i < j] the pair behaves as an LFD: iterations overlap fully and
+      the pair contributes no cross-iteration delay;
+    - otherwise each link of the iteration chain [k -> k+d] delays the
+      successor by [i - j + 1] cycles, there are [floor((n-1)/d)] links,
+      and the loop needs about [(n/d)(i-j) + l] cycles — the paper's
+      formula; {!exact_pair_time} keeps the [+1] and the floor.
+
+    The model is validated against the cycle-accurate simulator by the
+    property tests. *)
+
+type pair_report = {
+  wait_id : int;
+  signal : int;
+  distance : int;
+  wait_pos : int;  (** 1-based scheduled position [j] *)
+  send_pos : int;  (** 1-based scheduled position [i] *)
+  is_lbd : bool;  (** [send_pos >= wait_pos]: still lexically backward *)
+  paper_time : int;  (** [(n/d)(i-j) + l], clamped below at [l] *)
+  exact_time : int;  (** [floor((n-1)/d) * max(0, i-j+1) + l] *)
+}
+
+(** [pairs s] reports every synchronization pair of the schedule. *)
+val pairs : Schedule.t -> pair_report list
+
+(** [n_lbd s] — pairs still lexically backward in the schedule. *)
+val n_lbd : Schedule.t -> int
+
+(** [paper_time s] / [exact_time s] — the predicted parallel execution
+    time of the whole loop: the worst pair (or [l] when every pair is
+    forward). *)
+val paper_time : Schedule.t -> int
+
+val exact_time : Schedule.t -> int
+
+val pp_report : Format.formatter -> pair_report -> unit

@@ -1,0 +1,57 @@
+module Machine = Isched_ir.Machine
+module Dfg = Isched_dfg.Dfg
+module Pqueue = Isched_util.Pqueue
+
+let run ?priority ?release (g : Dfg.t) machine =
+  let n = g.Dfg.n in
+  let prio = match priority with Some p -> p | None -> Dfg.longest_path_to_exit g in
+  if Array.length prio <> n then invalid_arg "List_sched.run: priority length mismatch";
+  let release = match release with Some r -> r | None -> Array.make n 0 in
+  if Array.length release <> n then invalid_arg "List_sched.run: release length mismatch";
+  let res = Resource.create machine in
+  let cycle_of = Array.make n (-1) in
+  let indeg = Array.make n 0 in
+  Array.iter (fun arcs -> List.iter (fun (a : Dfg.arc) -> indeg.(a.dst) <- indeg.(a.dst) + 1) arcs) g.Dfg.succs;
+  let est = Array.init n (fun i -> max 0 release.(i)) in
+  (* future.(c) = nodes becoming ready exactly at cycle c *)
+  let future : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  let push_future c i =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt future c) in
+    Hashtbl.replace future c (i :: prev)
+  in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then push_future est.(i) i
+  done;
+  let ready = Pqueue.create () in
+  let scheduled = ref 0 in
+  let cycle = ref 0 in
+  while !scheduled < n do
+    (match Hashtbl.find_opt future !cycle with
+    | Some nodes ->
+      List.iter (fun i -> Pqueue.push ready ~prio:prio.(i) ~tie:i i) nodes;
+      Hashtbl.remove future !cycle
+    | None -> ());
+    (* Fill this cycle's issue slots in priority order; nodes that do not
+       fit (unit conflict) are deferred within the cycle and retried next
+       cycle. *)
+    let deferred = ref [] in
+    while not (Pqueue.is_empty ready) do
+      let i = Pqueue.pop ready in
+      let ins = g.Dfg.prog.Isched_ir.Program.body.(i) in
+      if Resource.fits res ~cycle:!cycle ins then begin
+        Resource.reserve res ~cycle:!cycle ins;
+        cycle_of.(i) <- !cycle;
+        incr scheduled;
+        List.iter
+          (fun (a : Dfg.arc) ->
+            indeg.(a.dst) <- indeg.(a.dst) - 1;
+            est.(a.dst) <- max est.(a.dst) (!cycle + a.latency);
+            if indeg.(a.dst) = 0 then push_future (max est.(a.dst) (!cycle + 1)) a.dst)
+          g.Dfg.succs.(i)
+      end
+      else deferred := i :: !deferred
+    done;
+    List.iter (fun i -> Pqueue.push ready ~prio:prio.(i) ~tie:i i) !deferred;
+    incr cycle
+  done;
+  Schedule.of_cycles g.Dfg.prog machine cycle_of

@@ -1,0 +1,24 @@
+(** The baseline: classic list scheduling (critical-path priority),
+    oblivious to synchronization costs.
+
+    Ready instructions are issued greedily each cycle, highest
+    longest-path-to-exit first (ties towards original program order),
+    subject to issue width and function-unit availability.  The
+    synchronization-condition arcs of the {!Isched_dfg.Dfg} keep the
+    result {e correct} (no stale data), but nothing stops a [Wait] —
+    which has no predecessors — from floating to the first cycles, nor a
+    [Send] — which has no successors — from sinking to the last: exactly
+    the behaviour the paper blames for the long synchronization spans of
+    Table 2's list-scheduling columns. *)
+
+module Machine := Isched_ir.Machine
+
+(** [run ?priority ?release g m] schedules [g]'s program on machine [m].
+    The result always passes {!Schedule.validate}.
+
+    [priority] overrides the per-node priority (default: longest path to
+    exit).  [release] gives each node an earliest issue cycle (default
+    0).  Both are how {!Marker_sched} implements synchronization-marker
+    guidance. *)
+val run :
+  ?priority:int array -> ?release:int array -> Isched_dfg.Dfg.t -> Machine.t -> Schedule.t

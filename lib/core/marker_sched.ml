@@ -1,0 +1,31 @@
+module Dfg = Isched_dfg.Dfg
+module Instr = Isched_ir.Instr
+module Program = Isched_ir.Program
+
+let run (g : Dfg.t) machine =
+  let p = g.Dfg.prog in
+  let n = g.Dfg.n in
+  let base = Dfg.longest_path_to_exit g in
+  let top = Array.fold_left max 0 base + 1 in
+  (* Latency-only ASAP times: the marker for a wait is "do not issue
+     before the cycle at which your sink could otherwise start". *)
+  let asap = Array.make n 0 in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (a : Dfg.arc) -> asap.(i) <- max asap.(i) (asap.(a.Dfg.src) + a.Dfg.latency))
+      g.Dfg.preds.(i)
+  done;
+  let priority = Array.copy base in
+  let release = Array.make n 0 in
+  Array.iter
+    (fun (s : Program.signal_info) -> priority.(s.Program.send_instr) <- top)
+    p.Program.signals;
+  Array.iter
+    (fun (w : Program.wait_info) ->
+      priority.(w.Program.wait_instr) <- -1;
+      (* The sink's ASAP already accounts for the wait's own arc (wait at
+         0 + latency 1); deferring the wait to asap(snk) - 1 keeps the
+         sink's start unchanged while pushing the wait down. *)
+      release.(w.Program.wait_instr) <- max 0 (asap.(w.Program.snk_instr) - 1))
+    p.Program.waits;
+  List_sched.run ~priority ~release g machine

@@ -1,0 +1,20 @@
+(** Synchronization-marker guided list scheduling — the author's earlier
+    technique (Hwang & Lai, "Guiding Instruction Scheduling with
+    Synchronization Markers on a Superscalar-Based Multiprocessor",
+    ISPAN 1994, the paper's reference [18]), reconstructed as a middle
+    baseline between plain list scheduling and the new scheduler.
+
+    The idea: keep the classic list scheduler but mark the
+    synchronization operations so its greedy priority treats them
+    specially — a [Send] inherits the {e maximum} priority (issue it the
+    moment its source completes, pulling sends up), a [Wait] gets the
+    {e minimum} (issue it as late as the sink chain allows, pushing
+    waits down).  This shortens wait-to-send spans heuristically but,
+    unlike the new scheduler, neither guarantees LFD conversion nor
+    compacts the unavoidable synchronization paths — the gap between the
+    two is measured by ablation A5. *)
+
+module Machine := Isched_ir.Machine
+
+(** [run g m] — marker-guided list scheduling; always legal. *)
+val run : Isched_dfg.Dfg.t -> Machine.t -> Schedule.t

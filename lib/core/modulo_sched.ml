@@ -1,0 +1,253 @@
+module Machine = Isched_ir.Machine
+module Program = Isched_ir.Program
+module Instr = Isched_ir.Instr
+module Fu = Isched_ir.Fu
+module Dfg = Isched_dfg.Dfg
+
+type t = {
+  prog : Program.t;
+  machine : Machine.t;
+  ii : int;
+  cycle_of : int array;
+  span : int;
+  res_mii : int;
+  rec_mii : int;
+}
+
+type marc = { src : int; dst : int; lat : int; omega : int }
+
+(* The modulo dependence graph: sync operations dropped, their enforced
+   dependences turned into loop-carried arcs. *)
+let modulo_arcs (g : Dfg.t) =
+  let p = g.Dfg.prog in
+  let is_sync i = Instr.is_sync p.Program.body.(i) in
+  let intra =
+    Array.to_list g.Dfg.succs
+    |> List.concat_map
+         (List.filter_map (fun (a : Dfg.arc) ->
+              match a.Dfg.kind with
+              | Dfg.Data | Dfg.Mem ->
+                if is_sync a.Dfg.src || is_sync a.Dfg.dst then None
+                else Some { src = a.Dfg.src; dst = a.Dfg.dst; lat = a.Dfg.latency; omega = 0 }
+              | Dfg.Sync_src | Dfg.Sync_snk -> None))
+  in
+  let carried =
+    Array.to_list p.Program.waits
+    |> List.map (fun (w : Program.wait_info) ->
+           let src = p.Program.signals.(w.Program.signal).Program.src_instr in
+           {
+             src;
+             dst = w.Program.snk_instr;
+             lat = Instr.latency p.Program.body.(src);
+             omega = w.Program.distance;
+           })
+  in
+  intra @ carried
+
+let duration (m : Machine.t) ins =
+  match Instr.fu ins with
+  | None -> 0
+  | Some k -> if m.Machine.pipelined then 1 else Fu.latency k
+
+let res_mii (p : Program.t) (m : Machine.t) ops =
+  let per_kind = Array.make Fu.count 0 in
+  List.iter
+    (fun i ->
+      match Instr.fu p.Program.body.(i) with
+      | Some k -> per_kind.(Fu.index k) <- per_kind.(Fu.index k) + duration m p.Program.body.(i)
+      | None -> ())
+    ops;
+  let unit_bound =
+    Array.to_list (Array.mapi (fun k used -> (used + Machine.fu_count m (Fu.of_index k) - 1) / Machine.fu_count m (Fu.of_index k)) per_kind)
+    |> List.fold_left max 1
+  in
+  let issue_bound = (List.length ops + m.Machine.issue_width - 1) / m.Machine.issue_width in
+  max unit_bound issue_bound
+
+(* RecMII: the smallest II for which the constraint graph with edge
+   weights (lat - II*omega) has no positive-weight cycle
+   (Floyd-Warshall over the dropped-sync node set). *)
+let rec_mii n arcs =
+  let feasible ii =
+    let neg = -1000000 in
+    let dist = Array.make_matrix n n neg in
+    List.iter
+      (fun a ->
+        let w = a.lat - (ii * a.omega) in
+        if w > dist.(a.src).(a.dst) then dist.(a.src).(a.dst) <- w)
+      arcs;
+    let ok = ref true in
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        if dist.(i).(k) > neg then
+          for j = 0 to n - 1 do
+            if dist.(k).(j) > neg && dist.(i).(k) + dist.(k).(j) > dist.(i).(j) then
+              dist.(i).(j) <- dist.(i).(k) + dist.(k).(j)
+          done
+      done
+    done;
+    for i = 0 to n - 1 do
+      if dist.(i).(i) > 0 then ok := false
+    done;
+    !ok
+  in
+  let ii = ref 1 in
+  while not (feasible !ii) do
+    incr ii
+  done;
+  !ii
+
+(* One scheduling attempt at a fixed II.  Operations are placed highest
+   height first; each placement satisfies every arc to and from already
+   scheduled neighbours and the modulo resource table.  Returns the
+   cycle assignment or None. *)
+let attempt (p : Program.t) (m : Machine.t) ops arcs ~ii =
+  let n = Array.length p.Program.body in
+  let sched = Array.make n (-1) in
+  (* height within the acyclic (omega = 0) subgraph *)
+  let height = Array.make n 0 in
+  let intra = List.filter (fun a -> a.omega = 0) arcs in
+  let rec fix () =
+    let changed = ref false in
+    List.iter
+      (fun a ->
+        if height.(a.src) < a.lat + height.(a.dst) then begin
+          height.(a.src) <- a.lat + height.(a.dst);
+          changed := true
+        end)
+      intra;
+    if !changed then fix ()
+  in
+  fix ();
+  let order = List.sort (fun a b -> compare (-height.(a), a) (-height.(b), b)) ops in
+  (* modulo reservation tables *)
+  let fu_used = Array.make_matrix Fu.count ii 0 in
+  let issue_used = Array.make ii 0 in
+  let fits i c =
+    c >= 0
+    && issue_used.(c mod ii) < m.Machine.issue_width
+    &&
+    match Instr.fu p.Program.body.(i) with
+    | None -> true
+    | Some k ->
+      let d = duration m p.Program.body.(i) in
+      let ok = ref (d <= ii) in
+      for o = 0 to min d ii - 1 do
+        if fu_used.(Fu.index k).((c + o) mod ii) >= Machine.fu_count m k then ok := false
+      done;
+      !ok
+  in
+  let reserve i c =
+    issue_used.(c mod ii) <- issue_used.(c mod ii) + 1;
+    match Instr.fu p.Program.body.(i) with
+    | None -> ()
+    | Some k ->
+      let d = duration m p.Program.body.(i) in
+      for o = 0 to d - 1 do
+        fu_used.(Fu.index k).((c + o) mod ii) <- fu_used.(Fu.index k).((c + o) mod ii) + 1
+      done
+  in
+  let ok = ref true in
+  List.iter
+    (fun i ->
+      if !ok then begin
+        let lb = ref 0 and ub = ref max_int in
+        List.iter
+          (fun a ->
+            if a.dst = i && sched.(a.src) >= 0 then
+              lb := max !lb (sched.(a.src) + a.lat - (ii * a.omega));
+            if a.src = i && sched.(a.dst) >= 0 then
+              ub := min !ub (sched.(a.dst) - a.lat + (ii * a.omega)))
+          arcs;
+        let lb = max 0 !lb in
+        let hi = min !ub (lb + ii - 1) in
+        let placed = ref false in
+        let c = ref lb in
+        while (not !placed) && !c <= hi do
+          if fits i !c then begin
+            reserve i !c;
+            sched.(i) <- !c;
+            placed := true
+          end;
+          incr c
+        done;
+        if not !placed then ok := false
+      end)
+    order;
+  if !ok then Some sched else None
+
+let run (g : Dfg.t) machine =
+  Machine.validate machine;
+  let p = g.Dfg.prog in
+  let ops =
+    List.filter
+      (fun i -> not (Instr.is_sync p.Program.body.(i)))
+      (List.init (Array.length p.Program.body) (fun i -> i))
+  in
+  let arcs = modulo_arcs g in
+  let rmii = res_mii p machine ops in
+  let cmii = rec_mii (Array.length p.Program.body) arcs in
+  let mii = max rmii cmii in
+  let rec search ii =
+    (* A non-overlapped schedule always exists once II covers a serial
+       layout, so the search terminates; the cap is a safety net. *)
+    if ii > 4096 then invalid_arg (Printf.sprintf "Modulo_sched.run: no II found for %s" p.Program.name);
+    match attempt p machine ops arcs ~ii with
+    | Some sched -> (ii, sched)
+    | None -> search (ii + 1)
+  in
+  let ii, cycle_of = search (max 1 mii) in
+  let span =
+    List.fold_left
+      (fun acc i -> max acc (cycle_of.(i) + Instr.latency p.Program.body.(i)))
+      0 ops
+  in
+  { prog = p; machine; ii; cycle_of; span; res_mii = rmii; rec_mii = cmii }
+
+let total_time t = ((t.prog.Program.n_iters - 1) * t.ii) + t.span
+
+let validate t (g : Dfg.t) =
+  let p = t.prog in
+  let m = t.machine in
+  let problem = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+  let arcs = modulo_arcs g in
+  List.iter
+    (fun a ->
+      let cs = t.cycle_of.(a.src) and cd = t.cycle_of.(a.dst) in
+      if cs < 0 || cd < 0 then fail "arc endpoint unscheduled"
+      else if cd - cs < a.lat - (t.ii * a.omega) then
+        fail "arc %d->%d (omega %d) violated: %d - %d < %d - %d*%d" (a.src + 1) (a.dst + 1)
+          a.omega cd cs a.lat t.ii a.omega)
+    arcs;
+  let fu_used = Array.make_matrix Fu.count t.ii 0 in
+  let issue_used = Array.make t.ii 0 in
+  Array.iteri
+    (fun i c ->
+      if c >= 0 then begin
+        let slot = c mod t.ii in
+        issue_used.(slot) <- issue_used.(slot) + 1;
+        if issue_used.(slot) > m.Machine.issue_width then fail "issue slot %d oversubscribed" slot;
+        match Instr.fu p.Program.body.(i) with
+        | None -> ()
+        | Some k ->
+          let d = duration m p.Program.body.(i) in
+          for o = 0 to d - 1 do
+            let s = (c + o) mod t.ii in
+            fu_used.(Fu.index k).(s) <- fu_used.(Fu.index k).(s) + 1;
+            if fu_used.(Fu.index k).(s) > Machine.fu_count m k then
+              fail "%s oversubscribed in modulo slot %d" (Fu.name k) s
+          done
+      end)
+    t.cycle_of;
+  match !problem with None -> Ok () | Some msg -> Error msg
+
+let pp ppf t =
+  Format.fprintf ppf "modulo schedule of %s: II=%d (ResMII=%d, RecMII=%d), span=%d, total=%d@."
+    t.prog.Program.name t.ii t.res_mii t.rec_mii t.span (total_time t);
+  Array.iteri
+    (fun i c ->
+      if c >= 0 then
+        Format.fprintf ppf "  %3d: cycle %3d (slot %2d): %s@." (i + 1) c (c mod t.ii)
+          (Instr.to_string t.prog.Program.body.(i)))
+    t.cycle_of

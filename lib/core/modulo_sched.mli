@@ -1,0 +1,54 @@
+(** Iterative modulo scheduling (software pipelining) on a single
+    superscalar processor — the architectural alternative the paper's
+    multiprocessor competes against.
+
+    On one processor no synchronization is needed: the [Send]/[Wait]
+    operations disappear and every enforced cross-iteration dependence
+    becomes an ordinary loop-carried arc (source instruction to sink
+    instruction, iteration distance [omega = d]).  The scheduler finds
+    the smallest initiation interval [II] at which one iteration can be
+    started every [II] cycles:
+
+    - [II >= ResMII], the resource bound (unit and issue-slot usage per
+      iteration divided by availability), and
+    - [II >= RecMII], the recurrence bound (for every dependence cycle,
+      total latency over total distance),
+
+    using Rau-style iterative scheduling: operations are placed highest
+    priority first at the earliest start satisfying
+    [sched(dst) - sched(src) >= latency - II*omega] under a modulo
+    resource table; if no slot fits within one [II] window the attempt
+    restarts at [II + 1].
+
+    The total single-processor time is [(n - 1) * II + span] where
+    [span] is one iteration's schedule length — compared against the
+    DOACROSS times in the benchmark harness ("architecture comparison"
+    table): software pipelining matches DOACROSS on recurrence-bound
+    loops (QCD) and loses by up to the processor count on convertible
+    ones. *)
+
+module Machine := Isched_ir.Machine
+module Program := Isched_ir.Program
+
+type t = {
+  prog : Program.t;
+  machine : Machine.t;
+  ii : int;  (** initiation interval *)
+  cycle_of : int array;  (** per body index; [-1] for the dropped sync ops *)
+  span : int;  (** one iteration's schedule length in cycles *)
+  res_mii : int;
+  rec_mii : int;
+}
+
+(** [run g m] — modulo-schedule [g]'s program (sync operations ignored)
+    on machine [m].  The result always satisfies {!validate}. *)
+val run : Isched_dfg.Dfg.t -> Machine.t -> t
+
+(** [total_time t] — [(n-1) * II + span] for the program's [n]. *)
+val total_time : t -> int
+
+(** [validate t g] — recheck every modulo constraint: loop-carried and
+    intra-iteration arcs, modulo resource usage, issue width. *)
+val validate : t -> Isched_dfg.Dfg.t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

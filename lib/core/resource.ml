@@ -1,0 +1,54 @@
+module Machine = Isched_ir.Machine
+module Instr = Isched_ir.Instr
+module Fu = Isched_ir.Fu
+
+type t = {
+  machine : Machine.t;
+  issue_used : (int, int) Hashtbl.t;  (* cycle -> slots used *)
+  fu_used : (int * int, int) Hashtbl.t;  (* (fu index, cycle) -> units busy *)
+}
+
+let create machine =
+  Machine.validate machine;
+  { machine; issue_used = Hashtbl.create 64; fu_used = Hashtbl.create 64 }
+
+let get tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
+
+let duration t kind = if t.machine.Machine.pipelined then 1 else Fu.latency kind
+
+let fits t ~cycle i =
+  if cycle < 0 then false
+  else
+    get t.issue_used cycle < t.machine.Machine.issue_width
+    &&
+    match Instr.fu i with
+    | None -> true
+    | Some kind ->
+      let k = Fu.index kind in
+      let avail = Machine.fu_count t.machine kind in
+      let d = duration t kind in
+      let ok = ref true in
+      for c = cycle to cycle + d - 1 do
+        if get t.fu_used (k, c) >= avail then ok := false
+      done;
+      !ok
+
+let reserve t ~cycle i =
+  if not (fits t ~cycle i) then
+    invalid_arg (Printf.sprintf "Resource.reserve: %s does not fit at cycle %d" (Instr.to_string i) cycle);
+  Hashtbl.replace t.issue_used cycle (get t.issue_used cycle + 1);
+  match Instr.fu i with
+  | None -> ()
+  | Some kind ->
+    let k = Fu.index kind in
+    let d = duration t kind in
+    for c = cycle to cycle + d - 1 do
+      Hashtbl.replace t.fu_used (k, c) (get t.fu_used (k, c) + 1)
+    done
+
+let first_fit t ~from i =
+  let c = ref (max 0 from) in
+  while not (fits t ~cycle:!c i) do
+    incr c
+  done;
+  !c

@@ -1,0 +1,25 @@
+(** Resource reservation table for schedule construction.
+
+    Tracks, per cycle, the issue slots used and the occupancy of every
+    function-unit kind.  A non-pipelined unit is busy for its full
+    latency starting at the issue cycle; a pipelined one only at the
+    issue cycle.  Synchronization operations consume an issue slot but
+    no unit. *)
+
+module Machine := Isched_ir.Machine
+module Instr := Isched_ir.Instr
+
+type t
+
+val create : Machine.t -> t
+
+(** [fits t ~cycle i] — can [i] issue at [cycle]? *)
+val fits : t -> cycle:int -> Instr.t -> bool
+
+(** [reserve t ~cycle i] commits the resources.  Raises
+    [Invalid_argument] when it does not fit (callers must check). *)
+val reserve : t -> cycle:int -> Instr.t -> unit
+
+(** [first_fit t ~from i] — the smallest cycle [>= from] where [i]
+    fits.  Always terminates (future cycles are free). *)
+val first_fit : t -> from:int -> Instr.t -> int

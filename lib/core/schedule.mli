@@ -1,0 +1,42 @@
+(** A static schedule of one iteration's body: every instruction is
+    assigned an issue cycle (a row of the wide-instruction word layout of
+    the paper's Fig. 4). *)
+
+module Program := Isched_ir.Program
+module Machine := Isched_ir.Machine
+
+type t = {
+  prog : Program.t;
+  machine : Machine.t;
+  cycle_of : int array;  (** body index -> issue cycle (0-based) *)
+  rows : int array array;  (** cycle -> body indices, ascending *)
+  length : int;  (** number of cycles [l] *)
+}
+
+(** [of_cycles prog machine cycle_of] builds the row layout.  Raises
+    [Invalid_argument] on negative or missing cycles. *)
+val of_cycles : Program.t -> Machine.t -> int array -> t
+
+(** [validate t g] checks full legality against the data-flow graph [g]:
+    every arc separated by at least the producer latency, issue width
+    respected in every row, and function-unit occupancy feasible
+    (non-pipelined units stay busy for their whole latency).  Returns
+    [Error msg] describing the first violation. *)
+val validate : t -> Isched_dfg.Dfg.t -> (unit, string) result
+
+(** [compact t g] removes empty rows wherever doing so keeps the
+    schedule legal; never returns a longer schedule. *)
+val compact : t -> Isched_dfg.Dfg.t -> t
+
+(** [cycle t i] is 1-based position of instruction [i] in the schedule
+    (the paper's positions [i], [j] in the LBD formula). *)
+val position : t -> int -> int
+
+(** [pp ppf t] prints rows in the style of Fig. 4: one parenthesised
+    tuple of original instruction numbers per cycle. *)
+val pp : Format.formatter -> t -> unit
+
+(** [pp_wide ppf t] prints each row with the instruction texts. *)
+val pp_wide : Format.formatter -> t -> unit
+
+val to_string : t -> string

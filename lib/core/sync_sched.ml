@@ -1,0 +1,214 @@
+module Machine = Isched_ir.Machine
+module Program = Isched_ir.Program
+module Instr = Isched_ir.Instr
+module Dfg = Isched_dfg.Dfg
+
+type options = { order_paths : bool; compact : bool }
+
+let default_options = { order_paths = true; compact = true }
+
+type state = {
+  g : Dfg.t;
+  res : Resource.t;
+  cycle_of : int array;
+  (* wait node -> send node, for pairs that must become LFD (no
+     wait->send path exists); waits heading a sync path are absent. *)
+  lfd_wait_send : (int, int) Hashtbl.t;
+}
+
+let placed st i = st.cycle_of.(i) >= 0
+
+let ready_cycle st i =
+  List.fold_left
+    (fun acc (a : Dfg.arc) -> max acc (st.cycle_of.(a.src) + a.latency))
+    0 st.g.Dfg.preds.(i)
+
+(* Place node [i] (and, recursively, its unscheduled ancestors) at the
+   earliest feasible cycle >= [from].  Waits registered in
+   [lfd_wait_send] are additionally forced after their send. *)
+let rec place st ?(from = 0) i =
+  if not (placed st i) then begin
+    List.iter (fun (a : Dfg.arc) -> place st a.src) st.g.Dfg.preds.(i);
+    let from =
+      match Hashtbl.find_opt st.lfd_wait_send i with
+      | Some send ->
+        place st send;
+        max from (st.cycle_of.(send) + 1)
+      | None -> from
+    in
+    let ins = st.g.Dfg.prog.Program.body.(i) in
+    let c = Resource.first_fit st.res ~from:(max from (ready_cycle st i)) ins in
+    Resource.reserve st.res ~cycle:c ins;
+    st.cycle_of.(i) <- c
+  end
+
+(* Place a node at the earliest feasible cycle >= [from] and return the
+   chosen cycle. *)
+let place_at_least st i ~from =
+  place st ~from i;
+  st.cycle_of.(i)
+
+(* --- synchronization paths --- *)
+
+type path_group = { key : float; paths : Dfg.sync_path list; order : int }
+
+let group_paths ~n_iters ~order_paths (paths : Dfg.sync_path list) =
+  match paths with
+  | [] -> []
+  | _ ->
+    let arr = Array.of_list paths in
+    let uf = Isched_util.Union_find.create (Array.length arr) in
+    let owner : (int, int) Hashtbl.t = Hashtbl.create 32 in
+    Array.iteri
+      (fun pi (p : Dfg.sync_path) ->
+        List.iter
+          (fun node ->
+            match Hashtbl.find_opt owner node with
+            | Some qi -> ignore (Isched_util.Union_find.union uf pi qi)
+            | None -> Hashtbl.add owner node pi)
+          p.Dfg.nodes)
+      arr;
+    let weight (p : Dfg.sync_path) =
+      float_of_int n_iters /. float_of_int (max 1 p.Dfg.distance)
+      *. float_of_int (List.length p.Dfg.nodes)
+    in
+    let groups =
+      Isched_util.Union_find.groups uf
+      |> List.map (fun (rep, members) ->
+             let paths = List.map (fun m -> arr.(m)) members in
+             let key = List.fold_left (fun acc p -> Float.max acc (weight p)) 0. paths in
+             let paths =
+               List.sort (fun a b -> compare (weight b, a.Dfg.wait_id) (weight a, b.Dfg.wait_id)) paths
+             in
+             { key; paths; order = rep })
+    in
+    if order_paths then
+      List.sort (fun a b -> compare (b.key, a.order) (a.key, b.order)) groups
+    else List.sort (fun a b -> compare a.order b.order) groups
+
+(* Latency-only ASAP times, ignoring resources: the lower bound on any
+   node's cycle.  Nodes already placed use their committed cycle. *)
+let asap_estimate st =
+  let est = Array.make st.g.Dfg.n 0 in
+  for i = 0 to st.g.Dfg.n - 1 do
+    List.iter
+      (fun (a : Dfg.arc) -> est.(i) <- max est.(i) (est.(a.src) + a.latency))
+      st.g.Dfg.preds.(i);
+    if placed st i then est.(i) <- max est.(i) st.cycle_of.(i)
+  done;
+  est
+
+(* Schedule the nodes of one path on consecutive cycles.
+
+   The span of the path in the final schedule is what multiplies with
+   n/d in the LBD cost, so we want the nodes exactly [latency] apart.
+   The start cycle is the smallest at which, by the latency-only ASAP
+   bound, every path node can sit at its cumulative-latency offset; in
+   particular the head Wait is issued late enough that the rest of the
+   path never stalls on operand computations.  Ancestors are placed
+   lazily (inside [place]) after the earlier path nodes have claimed
+   their slots, so they fill surrounding free slots instead of stealing
+   the path's.  A residual resource conflict stretches the remainder of
+   the path minimally. *)
+let place_path st (p : Dfg.sync_path) =
+  let nodes = Array.of_list p.Dfg.nodes in
+  let k = Array.length nodes in
+  if k = 0 then ()
+  else begin
+    (* Cumulative offsets along the path. *)
+    let offs = Array.make k 0 in
+    for i = 1 to k - 1 do
+      let lat =
+        List.fold_left
+          (fun acc (a : Dfg.arc) -> if a.dst = nodes.(i) then max acc a.latency else acc)
+          1
+          st.g.Dfg.succs.(nodes.(i - 1))
+      in
+      offs.(i) <- offs.(i - 1) + lat
+    done;
+    let est = asap_estimate st in
+    let start = ref 0 in
+    Array.iteri (fun i v -> start := max !start (est.(v) - offs.(i))) nodes;
+    Array.iteri
+      (fun i v ->
+        if not (placed st v) then begin
+          let c = place_at_least st v ~from:(!start + offs.(i)) in
+          if c > !start + offs.(i) then start := c - offs.(i)
+        end
+        else start := max !start (st.cycle_of.(v) - offs.(i)))
+      nodes
+  end
+
+let run ?(options = default_options) (g : Dfg.t) machine =
+  let p = g.Dfg.prog in
+  let n = g.Dfg.n in
+  let st =
+    {
+      g;
+      res = Resource.create machine;
+      cycle_of = Array.make n (-1);
+      lfd_wait_send = Hashtbl.create 8;
+    }
+  in
+  let paths = Dfg.sync_paths g in
+  let path_waits = List.map (fun (sp : Dfg.sync_path) -> List.hd sp.Dfg.nodes) paths in
+  (* Every wait not heading a sync path should become lexically forward:
+     its send placed first, the wait strictly after.  The paper assumes
+     the Sig/Wat/Sigwat graphs "do not depend on each other", but
+     compiled loops can violate that (e.g. an unrolled scalar update
+     yields two pairs whose sends each depend on the other pair's wait);
+     forcing both forward would deadlock the placement recursion.  An
+     ordering constraint send->wait is therefore accepted only when it
+     keeps the combined graph (data-flow arcs plus the constraints
+     accepted so far) acyclic; a rejected pair honestly stays backward. *)
+  let extra : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  let reaches src dst =
+    (* DFS over DFG arcs + accepted send->wait constraint edges. *)
+    let seen = Hashtbl.create 32 in
+    let rec go u =
+      u = dst
+      || (not (Hashtbl.mem seen u))
+         && begin
+              Hashtbl.add seen u ();
+              List.exists (fun (a : Dfg.arc) -> go a.dst) g.Dfg.succs.(u)
+              || List.exists go (Option.value ~default:[] (Hashtbl.find_opt extra u))
+            end
+    in
+    go src
+  in
+  Array.iter
+    (fun (w : Program.wait_info) ->
+      if not (List.mem w.wait_instr path_waits) then begin
+        let send = p.Program.signals.(w.signal).send_instr in
+        (* Adding send -> wait creates a cycle iff the wait already
+           reaches the send. *)
+        if not (reaches w.wait_instr send) then begin
+          Hashtbl.replace st.lfd_wait_send w.wait_instr send;
+          Hashtbl.replace extra send
+            (w.wait_instr :: Option.value ~default:[] (Hashtbl.find_opt extra send))
+        end
+      end)
+    p.Program.waits;
+  (* Phase 1: Sigwat components' synchronization paths, worst first. *)
+  let groups = group_paths ~n_iters:p.Program.n_iters ~order_paths:options.order_paths paths in
+  List.iter (fun grp -> List.iter (place_path st) grp.paths) groups;
+  (* Phase 2: sends (Sig graphs and any remaining Sigwat sends) as soon
+     as possible, so the waits that must follow them stay early. *)
+  Array.iter (fun (s : Program.signal_info) -> place st s.send_instr) p.Program.signals;
+  (* Phase 3: everything else, critical path first (ties towards program
+     order) so the fill is as dense as the list scheduler's.  Waits
+     constrained to follow their sends do so via [lfd_wait_send] inside
+     [place]. *)
+  let prio = Dfg.longest_path_to_exit g in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (-prio.(a), a) (-prio.(b), b)) order;
+  Array.iter (fun i -> place st i) order;
+  let sched = Schedule.of_cycles p machine st.cycle_of in
+  let sched = if options.compact then Schedule.compact sched g else sched in
+  (* The paper's guarantee that the technique "never degrades the system
+     performance" is enforced by construction: if plain list scheduling
+     would finish the loop earlier (possible on loops with little or no
+     synchronization, where greedy ASAP filling can lose a row or two to
+     critical-path ordering), return the list schedule instead. *)
+  let baseline = List_sched.run g machine in
+  if Lbd_model.exact_time baseline < Lbd_model.exact_time sched then baseline else sched

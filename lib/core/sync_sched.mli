@@ -1,0 +1,40 @@
+(** The paper's new instruction-scheduling technique (Section 3.2).
+
+    The scheduler works on the data-flow graph with synchronization-
+    condition arcs, partitioned into Sig / Wat / Sigwat components:
+
+    + Within each Sigwat component, every wait whose send is reachable
+      from it defines a synchronization path [SP(Wat, Sig)] — an
+      unavoidable LBD.  Paths are grouped when they share nodes (shared
+      nodes force simultaneous scheduling) and groups are scheduled in
+      descending damage order [(n/d) * |SP|]; the nodes of each path are
+      placed on consecutive cycles so the scheduled wait-to-send span,
+      and with it the [(n/d)(i-j)+l] cost, is minimal.
+    + Every other wait is placed only {e after} its corresponding send:
+      the dependence becomes lexically forward in the schedule and costs
+      nothing beyond one iteration.  This rule is applied globally, so
+      it also covers pairs whose send and wait live in different
+      components (Sig graphs before Sigwat/Wat graphs, in the paper's
+      phrasing).
+    + All remaining instructions fill free issue slots as-soon-as-
+      possible, in dependence order.
+
+    The result is resource- and dependence-legal exactly like the list
+    scheduler's, and the paper's claim — never worse, usually far better
+    on LBD loops — is enforced by construction and checked by the
+    property tests. *)
+
+module Machine := Isched_ir.Machine
+
+(** Tuning knobs, mostly for the ablation benches. *)
+type options = {
+  order_paths : bool;
+      (** sort path groups by damage [(n/d)*|SP|] (default true; ablation
+          A1 turns it off to measure the value of the ordering rule) *)
+  compact : bool;  (** squeeze legal empty rows afterwards (default true) *)
+}
+
+val default_options : options
+
+(** [run ?options g m] schedules [g]'s program on machine [m]. *)
+val run : ?options:options -> Isched_dfg.Dfg.t -> Machine.t -> Schedule.t

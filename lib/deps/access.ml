@@ -1,0 +1,59 @@
+module Ast = Isched_frontend.Ast
+
+type t = {
+  stmt : int;
+  idx : int;
+  target : string;
+  is_array : bool;
+  sub : Ast.expr option;
+  affine : Affine.t option;
+  is_write : bool;
+}
+
+let of_stmt ~stmt (s : Ast.stmt) =
+  let acc = ref [] in
+  let n = ref 0 in
+  let push ~target ~is_array ~sub ~is_write =
+    let affine = match sub with Some e -> Affine.of_expr e | None -> None in
+    acc := { stmt; idx = !n; target; is_array; sub; affine; is_write } :: !acc;
+    incr n
+  in
+  (* Reads of an expression, inner subscripts before the enclosing
+     reference, left to right. *)
+  let rec reads_of (e : Ast.expr) =
+    match e with
+    | Ast.Num _ | Ast.Ivar -> ()
+    | Ast.Scalar name -> push ~target:name ~is_array:false ~sub:None ~is_write:false
+    | Ast.Aref (a, sub) ->
+      reads_of sub;
+      push ~target:a ~is_array:true ~sub:(Some sub) ~is_write:false
+    | Ast.Bin (_, x, y) ->
+      reads_of x;
+      reads_of y
+    | Ast.Neg x -> reads_of x
+  in
+  (match s.guard with
+  | Some c ->
+    reads_of c.lhs;
+    reads_of c.rhs
+  | None -> ());
+  (match s.lhs with Ast.Larr (_, sub) -> reads_of sub | Ast.Lscalar _ -> ());
+  reads_of s.rhs;
+  (match s.lhs with
+  | Ast.Larr (a, sub) -> push ~target:a ~is_array:true ~sub:(Some sub) ~is_write:true
+  | Ast.Lscalar name -> push ~target:name ~is_array:false ~sub:None ~is_write:true);
+  List.rev !acc
+
+let of_loop (l : Ast.loop) =
+  List.concat (List.mapi (fun i s -> of_stmt ~stmt:i s) l.body)
+
+let writes l = List.filter (fun a -> a.is_write) (of_loop l)
+let reads l = List.filter (fun a -> not a.is_write) (of_loop l)
+
+let pp ppf a =
+  let rw = if a.is_write then "W" else "R" in
+  match a.sub with
+  | None -> Format.fprintf ppf "%s:%s (S%d.%d)" rw a.target (a.stmt + 1) a.idx
+  | Some sub ->
+    Format.fprintf ppf "%s:%s[%a] (S%d.%d)" rw a.target Isched_frontend.Ast.pp_expr sub
+      (a.stmt + 1) a.idx

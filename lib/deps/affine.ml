@@ -1,0 +1,54 @@
+module Ast = Isched_frontend.Ast
+
+type t = { coef : int; off : int }
+
+let const n = { coef = 0; off = n }
+let ivar = { coef = 1; off = 0 }
+
+let rec of_expr (e : Ast.expr) =
+  match e with
+  | Ast.Num x ->
+    if Float.is_integer x && Float.abs x < 1e9 then Some (const (int_of_float x)) else None
+  | Ast.Ivar -> Some ivar
+  | Ast.Scalar _ | Ast.Aref _ -> None
+  | Ast.Neg a -> (
+    match of_expr a with Some { coef; off } -> Some { coef = -coef; off = -off } | None -> None)
+  | Ast.Bin (op, a, b) -> (
+    match (of_expr a, of_expr b) with
+    | Some x, Some y -> (
+      match op with
+      | Ast.Add -> Some { coef = x.coef + y.coef; off = x.off + y.off }
+      | Ast.Sub -> Some { coef = x.coef - y.coef; off = x.off - y.off }
+      | Ast.Mul ->
+        if x.coef = 0 then Some { coef = x.off * y.coef; off = x.off * y.off }
+        else if y.coef = 0 then Some { coef = y.off * x.coef; off = y.off * x.off }
+        else None
+      | Ast.Div -> None)
+    | _ -> None)
+
+let eval t i = (t.coef * i) + t.off
+
+let equal a b = a.coef = b.coef && a.off = b.off
+
+let to_string t =
+  match (t.coef, t.off) with
+  | 0, o -> string_of_int o
+  | 1, 0 -> "I"
+  | 1, o when o > 0 -> Printf.sprintf "I+%d" o
+  | 1, o -> Printf.sprintf "I%d" o
+  | c, 0 -> Printf.sprintf "%d*I" c
+  | c, o when o > 0 -> Printf.sprintf "%d*I+%d" c o
+  | c, o -> Printf.sprintf "%d*I%d" c o
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let to_expr t =
+  let open Ast in
+  match (t.coef, t.off) with
+  | 0, o -> Num (float_of_int o)
+  | 1, 0 -> Ivar
+  | 1, o when o > 0 -> Bin (Add, Ivar, Num (float_of_int o))
+  | 1, o -> Bin (Sub, Ivar, Num (float_of_int (-o)))
+  | c, 0 -> Bin (Mul, Num (float_of_int c), Ivar)
+  | c, o when o > 0 -> Bin (Add, Bin (Mul, Num (float_of_int c), Ivar), Num (float_of_int o))
+  | c, o -> Bin (Sub, Bin (Mul, Num (float_of_int c), Ivar), Num (float_of_int (-o)))

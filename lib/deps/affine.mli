@@ -1,0 +1,30 @@
+(** Affine forms [coef * I + off] of array subscripts.
+
+    Dependence distances are exact for subscripts that normalize to this
+    form; everything else is treated conservatively (see {!Dep}). *)
+
+module Ast := Isched_frontend.Ast
+
+type t = { coef : int; off : int }
+
+(** [of_expr e] normalizes [e] to an affine form when possible.
+    Handles constants, [I], negation, addition, subtraction and
+    multiplication by constant subexpressions (e.g. [2*(I+1)-3]).
+    Division and references to scalars or arrays yield [None];
+    non-integral constants yield [None]. *)
+val of_expr : Ast.expr -> t option
+
+(** [eval t i] is the subscript value at iteration [i]. *)
+val eval : t -> int -> int
+
+(** [const n] / [ivar] are the forms [n] and [I]. *)
+val const : int -> t
+
+val ivar : t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [to_expr t] rebuilds a canonical AST expression. *)
+val to_expr : t -> Ast.expr

@@ -1,0 +1,177 @@
+module Ast = Isched_frontend.Ast
+
+type kind = Flow | Anti | Output
+type distance = Dist of int | Unknown
+type lexical = LFD | LBD
+
+type t = {
+  kind : kind;
+  src : Access.t;
+  snk : Access.t;
+  distance : distance;
+  lexical : lexical;
+}
+
+let carried d = match d.distance with Dist 0 -> false | Dist _ | Unknown -> true
+
+let sync_distance d = match d.distance with Dist n when n >= 1 -> n | Dist _ -> 0 | Unknown -> 1
+
+let kind_name = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
+
+(* Intra-iteration execution order of two accesses. *)
+let intra_before (a : Access.t) (b : Access.t) =
+  a.stmt < b.stmt || (a.stmt = b.stmt && a.idx < b.idx)
+
+let lexical_of ~(src : Access.t) ~(snk : Access.t) =
+  if src.stmt < snk.stmt then LFD else LBD
+
+let dep_kind ~(src : Access.t) ~(snk : Access.t) =
+  match (src.is_write, snk.is_write) with
+  | true, false -> Some Flow
+  | false, true -> Some Anti
+  | true, true -> Some Output
+  | false, false -> None
+
+let make ~src ~snk ~distance =
+  match dep_kind ~src ~snk with
+  | None -> None
+  | Some kind -> Some { kind; src; snk; distance; lexical = lexical_of ~src ~snk }
+
+(* Largest iteration space we enumerate exactly; beyond it unequal-
+   coefficient subscript pairs degrade to Unknown (still safe). *)
+let enumeration_limit = 4096
+
+(* Dependences from access [a] to access [b] (a executes first). *)
+let deps_between (l : Ast.loop) (a : Access.t) (b : Access.t) =
+  let span = l.hi - l.lo in
+  if span < 0 then []
+  else begin
+    match (a.affine, b.affine) with
+    | Some fa, Some fb when fa.Affine.coef = fb.Affine.coef && fa.Affine.coef <> 0 ->
+      (* c*i1 + oa = c*i2 + ob  =>  i2 - i1 = (oa - ob) / c *)
+      let c = fa.Affine.coef in
+      let num = fa.Affine.off - fb.Affine.off in
+      if num mod c <> 0 then []
+      else begin
+        let delta = num / c in
+        if delta > span || delta < 0 then []
+        else if delta = 0 && not (intra_before a b) then []
+        else
+          match make ~src:a ~snk:b ~distance:(Dist delta) with
+          | Some d -> [ d ]
+          | None -> []
+      end
+    | Some fa, Some fb when fa.Affine.coef = 0 && fb.Affine.coef = 0 ->
+      (* Two constant subscripts: same cell every iteration. *)
+      if fa.Affine.off <> fb.Affine.off then []
+      else begin
+        let acc = ref [] in
+        (if span >= 1 then
+           match make ~src:a ~snk:b ~distance:Unknown with
+           | Some d -> acc := d :: !acc
+           | None -> ());
+        (if intra_before a b then
+           match make ~src:a ~snk:b ~distance:(Dist 0) with
+           | Some d -> acc := d :: !acc
+           | None -> ());
+        !acc
+      end
+    | Some fa, Some fb when span <= enumeration_limit ->
+      (* Unequal coefficients: enumerate the bounded iteration space and
+         collect the exact set of (i1, i2) collisions. *)
+      let cb = fb.Affine.coef in
+      let deltas = Hashtbl.create 8 in
+      let any_zero_intra = ref false in
+      for i1 = l.lo to l.hi do
+        let v = Affine.eval fa i1 in
+        (* Solve cb*i2 + ob = v. *)
+        if cb = 0 then begin
+          if fb.Affine.off = v then begin
+            (* b touches this cell every iteration: all distances. *)
+            if span >= 1 then Hashtbl.replace deltas 1 ();
+            if span >= 2 then Hashtbl.replace deltas 2 ()
+          end
+        end
+        else begin
+          let num = v - fb.Affine.off in
+          if num mod cb = 0 then begin
+            let i2 = num / cb in
+            if i2 >= l.lo && i2 <= l.hi then begin
+              let d = i2 - i1 in
+              if d > 0 then Hashtbl.replace deltas d ()
+              else if d = 0 && intra_before a b then any_zero_intra := true
+            end
+          end
+        end
+      done;
+      let acc = ref [] in
+      (if !any_zero_intra then
+         match make ~src:a ~snk:b ~distance:(Dist 0) with
+         | Some d -> acc := d :: !acc
+         | None -> ());
+      (match Hashtbl.length deltas with
+      | 0 -> ()
+      | 1 ->
+        let d = Hashtbl.fold (fun k () _ -> k) deltas 0 in
+        (match make ~src:a ~snk:b ~distance:(Dist d) with
+        | Some dep -> acc := dep :: !acc
+        | None -> ())
+      | _ -> (
+        match make ~src:a ~snk:b ~distance:Unknown with
+        | Some dep -> acc := dep :: !acc
+        | None -> ()));
+      !acc
+    | _ ->
+      (* Not analyzable (non-affine subscript, scalar, or the iteration
+         space is too large to enumerate): conservative. *)
+      let acc = ref [] in
+      (if span >= 1 then
+         match make ~src:a ~snk:b ~distance:Unknown with
+         | Some d -> acc := d :: !acc
+         | None -> ());
+      (if intra_before a b then
+         match make ~src:a ~snk:b ~distance:(Dist 0) with
+         | Some d -> acc := d :: !acc
+         | None -> ());
+      !acc
+  end
+
+let dep_order d1 d2 =
+  let key d =
+    ( d.src.Access.stmt,
+      d.snk.Access.stmt,
+      (match d.kind with Flow -> 0 | Anti -> 1 | Output -> 2),
+      (match d.distance with Dist n -> n | Unknown -> max_int),
+      d.src.Access.idx,
+      d.snk.Access.idx )
+  in
+  compare (key d1) (key d2)
+
+let analyze (l : Ast.loop) =
+  let accesses = Array.of_list (Access.of_loop l) in
+  let n = Array.length accesses in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let a = accesses.(i) and b = accesses.(j) in
+      if a.Access.target = b.Access.target && a.Access.is_array = b.Access.is_array
+         && (a.Access.is_write || b.Access.is_write)
+      then out := deps_between l a b @ !out
+    done
+  done;
+  List.sort_uniq dep_order !out
+
+let carried_deps l = List.filter carried (analyze l)
+let is_doall l = carried_deps l = []
+
+let pp ppf d =
+  let dist =
+    match d.distance with Dist n -> string_of_int n | Unknown -> "*"
+  in
+  let lex = match d.lexical with LFD -> "LFD" | LBD -> "LBD" in
+  let tag = if carried d then Printf.sprintf "carried d=%s %s" dist lex else "loop-independent" in
+  Format.fprintf ppf "%s %s: S%d -> S%d on %s (%s)" (kind_name d.kind)
+    (if d.src.Access.is_array then "dep" else "scalar dep")
+    (d.src.Access.stmt + 1) (d.snk.Access.stmt + 1) d.src.Access.target tag
+
+let to_string d = Format.asprintf "%a" pp d

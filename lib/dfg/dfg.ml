@@ -1,0 +1,236 @@
+module Instr = Isched_ir.Instr
+module Program = Isched_ir.Program
+
+type arc_kind = Data | Mem | Sync_src | Sync_snk
+type arc = { src : int; dst : int; latency : int; kind : arc_kind }
+
+type t = {
+  prog : Program.t;
+  n : int;
+  succs : arc list array;
+  preds : arc list array;
+}
+
+let may_alias (a : Program.mem_ref) (b : Program.mem_ref) =
+  String.equal a.base b.base
+  &&
+  match (a.affine, b.affine) with
+  | Some x, Some y -> x = y
+  | None, _ | _, None -> true
+
+(* Scalar memory ops get a pseudo mem_ref keyed by name so the same
+   aliasing logic applies; scalar and array namespaces are disjoint
+   because Sema rejects names used as both. *)
+let mem_ref_of (p : Program.t) i =
+  match p.body.(i) with
+  | Instr.Load _ | Instr.Store _ -> p.mem.(i)
+  | Instr.Load_scalar { name; _ } | Instr.Store_scalar { name; _ } ->
+    Some { Program.base = name; affine = Some (0, 0) }
+  | _ -> None
+
+let is_write (p : Program.t) i =
+  match p.body.(i) with Instr.Store _ | Instr.Store_scalar _ -> true | _ -> false
+
+(* The instructions a wait orders after itself: its sink plus the
+   aliasing memory operations of the sink statement between the wait and
+   the sink (the old-value load of an if-converted store). *)
+let protected_of_wait (p : Program.t) (w : Program.wait_info) =
+  let extra = ref [] in
+  (match mem_ref_of p w.snk_instr with
+  | None -> ()
+  | Some ms ->
+    for m = w.wait_instr + 1 to w.snk_instr - 1 do
+      if p.stmt_of.(m) = w.snk_stmt then
+        match mem_ref_of p m with
+        | Some mm when may_alias ms mm -> extra := m :: !extra
+        | _ -> ()
+    done);
+  w.snk_instr :: List.rev !extra
+
+let build ?(sync_arcs = true) (p : Program.t) =
+  let n = Array.length p.body in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  let seen = Hashtbl.create (4 * n) in
+  let add_arc ~src ~dst ~latency ~kind =
+    if src = dst then invalid_arg "Dfg.build: self arc";
+    if src > dst then
+      invalid_arg
+        (Printf.sprintf "Dfg.build: backward arc %d -> %d in %s" (src + 1) (dst + 1) p.name);
+    let key = (src, dst, kind) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      let a = { src; dst; latency; kind } in
+      succs.(src) <- a :: succs.(src);
+      preds.(dst) <- a :: preds.(dst)
+    end
+  in
+  (* Data arcs: single-assignment registers, def before use. *)
+  let def_of = Array.make p.n_regs (-1) in
+  Array.iteri
+    (fun i ins -> match Instr.def ins with Some r -> def_of.(r) <- i | None -> ())
+    p.body;
+  Array.iteri
+    (fun i ins ->
+      List.iter
+        (fun r ->
+          let d = def_of.(r) in
+          if d >= 0 && d <> i then
+            add_arc ~src:d ~dst:i ~latency:(Instr.latency p.body.(d)) ~kind:Data)
+        (Instr.uses ins))
+    p.body;
+  (* Memory arcs: ordered pairs of may-aliasing ops, at least one write. *)
+  for i = 0 to n - 1 do
+    match mem_ref_of p i with
+    | None -> ()
+    | Some mi ->
+      for j = i + 1 to n - 1 do
+        match mem_ref_of p j with
+        | None -> ()
+        | Some mj ->
+          if (is_write p i || is_write p j) && may_alias mi mj then
+            add_arc ~src:i ~dst:j ~latency:1 ~kind:Mem
+      done
+  done;
+  (* Sync-condition arcs. *)
+  if sync_arcs then begin
+    Array.iter
+      (fun (s : Program.signal_info) ->
+        add_arc ~src:s.src_instr ~dst:s.send_instr
+          ~latency:(Instr.latency p.body.(s.src_instr))
+          ~kind:Sync_src)
+      p.signals;
+    Array.iter
+      (fun (w : Program.wait_info) ->
+        List.iter
+          (fun m -> add_arc ~src:w.wait_instr ~dst:m ~latency:1 ~kind:Sync_snk)
+          (protected_of_wait p w))
+      p.waits
+  end;
+  { prog = p; n; succs; preds }
+
+(* --- components --- *)
+
+type comp_kind = Sig_graph | Wat_graph | Sigwat_graph | Plain
+
+type component = {
+  id : int;
+  nodes : int list;
+  kind : comp_kind;
+  sends : int list;
+  waits : int list;
+}
+
+let components g =
+  let uf = Isched_util.Union_find.create g.n in
+  Array.iter
+    (fun arcs -> List.iter (fun a -> ignore (Isched_util.Union_find.union uf a.src a.dst)) arcs)
+    g.succs;
+  let groups = Isched_util.Union_find.groups uf in
+  let comps =
+    List.mapi
+      (fun id (_, nodes) ->
+        let sends =
+          List.filter (fun i -> match g.prog.body.(i) with Instr.Send _ -> true | _ -> false) nodes
+        in
+        let waits =
+          List.filter (fun i -> match g.prog.body.(i) with Instr.Wait _ -> true | _ -> false) nodes
+        in
+        let kind =
+          match (sends, waits) with
+          | [], [] -> Plain
+          | _ :: _, [] -> Sig_graph
+          | [], _ :: _ -> Wat_graph
+          | _ :: _, _ :: _ -> Sigwat_graph
+        in
+        { id; nodes; kind; sends; waits })
+      groups
+  in
+  Array.of_list comps
+
+let component_of g comps =
+  let owner = Array.make g.n (-1) in
+  Array.iter (fun c -> List.iter (fun i -> owner.(i) <- c.id) c.nodes) comps;
+  owner
+
+(* --- synchronization paths --- *)
+
+type sync_path = { wait_id : int; signal : int; distance : int; nodes : int list }
+
+let shortest_path g ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let parent = Array.make g.n (-2) in
+    parent.(src) <- -1;
+    let q = Queue.create () in
+    Queue.push src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let nexts =
+        List.map (fun a -> a.dst) g.succs.(u) |> List.sort_uniq compare
+      in
+      List.iter
+        (fun v ->
+          if (not !found) && parent.(v) = -2 then begin
+            parent.(v) <- u;
+            if v = dst then found := true else Queue.push v q
+          end)
+        nexts
+    done;
+    if not !found then None
+    else begin
+      let rec walk v acc = if v = -1 then acc else walk parent.(v) (v :: acc) in
+      Some (walk dst [])
+    end
+  end
+
+let sync_paths g =
+  let p = g.prog in
+  Array.to_list p.waits
+  |> List.filter_map (fun (w : Program.wait_info) ->
+         let send = p.signals.(w.signal).send_instr in
+         match shortest_path g ~src:w.wait_instr ~dst:send with
+         | Some nodes ->
+           Some { wait_id = w.wait; signal = w.signal; distance = w.distance; nodes }
+         | None -> None)
+
+(* --- priorities and orders --- *)
+
+let longest_path_to_exit g =
+  let dist = Array.make g.n 0 in
+  (* Nodes are indexed in a topological order already (all arcs go
+     forward), so a reverse sweep suffices. *)
+  for i = g.n - 1 downto 0 do
+    List.iter (fun a -> dist.(i) <- max dist.(i) (a.latency + dist.(a.dst))) g.succs.(i)
+  done;
+  dist
+
+let topo_order g =
+  (* All arcs are forward by construction. *)
+  Array.init g.n (fun i -> i)
+
+let pp_dot ppf g =
+  Format.fprintf ppf "digraph dfg {@.";
+  for i = 0 to g.n - 1 do
+    let shape =
+      match g.prog.body.(i) with
+      | Instr.Send _ -> ", shape=triangle"
+      | Instr.Wait _ -> ", shape=invtriangle"
+      | _ -> ""
+    in
+    Format.fprintf ppf "  n%d [label=\"%d: %s\"%s];@." i (i + 1)
+      (String.escaped (Instr.to_string g.prog.body.(i)))
+      shape
+  done;
+  Array.iter
+    (List.iter (fun (a : arc) ->
+         let style =
+           match a.kind with
+           | Data -> ""
+           | Mem -> " [style=dashed]"
+           | Sync_src | Sync_snk -> " [style=dotted, color=red]"
+         in
+         Format.fprintf ppf "  n%d -> n%d%s;@." a.src a.dst style))
+    g.succs;
+  Format.fprintf ppf "}@."
+

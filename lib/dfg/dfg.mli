@@ -1,0 +1,104 @@
+(** Data-flow graph over one iteration's three-address code, with the
+    paper's extra synchronization-condition arcs (Section 3.1).
+
+    Nodes are body indices of the program.  Arcs:
+    - {e data}: virtual-register definition to each use, with the
+      producer's latency;
+    - {e memory}: intra-iteration store/load ordering on may-aliasing
+      references (flow, anti and output at the instruction level);
+    - {e sync-source}: from the dependence-source memory operation to its
+      [Send] — a send can never be scheduled before its source;
+    - {e sync-sink}: from a [Wait] to its dependence-sink memory
+      operation — a sink can never be scheduled before its wait.  The
+      arc is duplicated to every earlier memory operation of the sink
+      statement that may alias the sink (this covers the old-value load
+      of an if-converted guarded store). *)
+
+module Program := Isched_ir.Program
+
+type arc_kind = Data | Mem | Sync_src | Sync_snk
+
+type arc = { src : int; dst : int; latency : int; kind : arc_kind }
+
+type t = {
+  prog : Program.t;
+  n : int;  (** number of nodes = body length *)
+  succs : arc list array;  (** outgoing arcs per node *)
+  preds : arc list array;  (** incoming arcs per node *)
+}
+
+(** [build p] constructs the graph.  O(n^2) in the body length, which is
+    fine for loop bodies.
+
+    [sync_arcs:false] omits the synchronization-condition arcs — the
+    resulting graph describes what a scheduler oblivious to the paper's
+    Section 2 conditions would see.  Schedules built over it can access
+    stale data; the [stale_data_demo] example and the simulator tests
+    use this to reproduce the motivating bug. *)
+val build : ?sync_arcs:bool -> Program.t -> t
+
+(** [may_alias a b] — conservative aliasing of two memory references:
+    same base and (distinct affine element indices excepted) possibly the
+    same cell. *)
+val may_alias : Program.mem_ref -> Program.mem_ref -> bool
+
+(** [protected_of_wait p w] — the body indices [w]'s [Wait] orders after
+    itself: its sink instruction plus every may-aliasing memory
+    operation of the sink statement between the wait and the sink (the
+    old-value load of an if-converted store).  Exactly the targets of
+    the wait's sync-sink arcs in {!build}. *)
+val protected_of_wait : Program.t -> Program.wait_info -> int list
+
+(** {2 Components (Sig / Wat / Sigwat graphs)} *)
+
+type comp_kind =
+  | Sig_graph  (** contains sends but no waits *)
+  | Wat_graph  (** contains waits but no sends *)
+  | Sigwat_graph  (** contains both *)
+  | Plain  (** contains neither *)
+
+type component = {
+  id : int;
+  nodes : int list;  (** ascending *)
+  kind : comp_kind;
+  sends : int list;  (** body indices of [Send] nodes *)
+  waits : int list;  (** body indices of [Wait] nodes *)
+}
+
+(** [components g] — weakly-connected components, classified.  Ordered by
+    smallest member node. *)
+val components : t -> component array
+
+(** [component_of g comps] maps each node to its component id. *)
+val component_of : t -> component array -> int array
+
+(** {2 Synchronization paths} *)
+
+type sync_path = {
+  wait_id : int;  (** wait id in the program's wait table *)
+  signal : int;
+  distance : int;
+  nodes : int list;  (** a shortest directed path, wait node first,
+                          send node last *)
+}
+
+(** [sync_paths g] finds, for every wait whose [Send] is reachable from
+    its [Wait] node, a shortest directed path between them (BFS; ties
+    broken deterministically towards lower node indices).  Such a path
+    makes the LBD unavoidable; its nodes are what the new scheduler
+    keeps contiguous. *)
+val sync_paths : t -> sync_path list
+
+(** [longest_path_to_exit g] — for every node, the maximum sum of arc
+    latencies over paths to any sink; the classic list-scheduling
+    priority. *)
+val longest_path_to_exit : t -> int array
+
+(** [topo_order g] — a topological order of the nodes (original index as
+    tie-break).  Raises [Invalid_argument] if the graph has a cycle
+    (which would indicate a builder bug). *)
+val topo_order : t -> int array
+
+(** [pp_dot ppf g] renders the graph in Graphviz dot syntax, with the
+    paper's triangle shapes for sync nodes. *)
+val pp_dot : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+module Program = Isched_ir.Program
+
+(* Reflexive-transitive reachability over Data and Mem arcs only. *)
+let reachability (g : Dfg.t) =
+  let n = g.Dfg.n in
+  let reach = Array.make_matrix n n false in
+  for i = n - 1 downto 0 do
+    reach.(i).(i) <- true;
+    List.iter
+      (fun (a : Dfg.arc) ->
+        match a.Dfg.kind with
+        | Dfg.Data | Dfg.Mem ->
+          for j = 0 to n - 1 do
+            if reach.(a.Dfg.dst).(j) then reach.(i).(j) <- true
+          done
+        | Dfg.Sync_src | Dfg.Sync_snk -> ())
+      g.Dfg.succs.(i)
+  done;
+  reach
+
+let covered (p : Program.t) reach ~(target : Program.wait_info) active =
+  let d = target.Program.distance in
+  if d < 1 then true
+  else begin
+    let n = Array.length p.Program.body in
+    let start = p.Program.signals.(target.Program.signal).Program.src_instr in
+    (* Every instruction the wait protects (its sink plus the aliasing
+       same-statement operations, e.g. an if-converted old-value load)
+       must be covered, or dropping the wait frees one of them to hoist
+       above every surviving synchronization. *)
+    let goals = Dfg.protected_of_wait p target in
+    (* BFS over (instruction, accumulated distance) states, collecting
+       the frontier at exactly distance d. *)
+    let visited = Hashtbl.create 64 in
+    let at_d = Hashtbl.create 16 in
+    let q = Queue.create () in
+    let push node w =
+      if w <= d && node < n && not (Hashtbl.mem visited (node, w)) then begin
+        Hashtbl.add visited (node, w) ();
+        if w = d then Hashtbl.replace at_d node ();
+        Queue.push (node, w) q
+      end
+    in
+    push start 0;
+    while not (Queue.is_empty q) do
+      let node, w = Queue.pop q in
+      if w < d then
+        List.iter
+          (fun (k : Program.wait_info) ->
+            let src = p.Program.signals.(k.Program.signal).Program.src_instr in
+            if reach.(node).(src) then push k.Program.snk_instr (w + k.Program.distance))
+          active
+    done;
+    List.for_all
+      (fun goal -> Hashtbl.fold (fun r () acc -> acc || reach.(r).(goal)) at_d false)
+      goals
+  end
+
+let redundant_waits (g : Dfg.t) =
+  let p = g.Dfg.prog in
+  let reach = reachability g in
+  let waits = Array.to_list p.Program.waits in
+  let active = ref waits in
+  let removed = ref [] in
+  List.iter
+    (fun (w : Program.wait_info) ->
+      let others = List.filter (fun (k : Program.wait_info) -> k.Program.wait <> w.Program.wait) !active in
+      if
+        List.exists (fun (k : Program.wait_info) -> k.Program.wait = w.Program.wait) !active
+        && covered p reach ~target:w others
+      then begin
+        active := others;
+        removed := w.Program.wait :: !removed
+      end)
+    waits;
+  List.rev !removed

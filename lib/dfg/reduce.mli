@@ -1,0 +1,29 @@
+(** Instruction-level redundant-synchronization elimination.
+
+    The classic statement-level rule (Midkiff & Padua) — a dependence is
+    covered when other enforced pairs compose with intra-iteration
+    program order to the same total distance — is {e unsound} under
+    instruction scheduling: "program order" between independent
+    instructions is exactly what the scheduler is free to change, so a
+    sink protected only transitively through textual order can be
+    hoisted above the surviving wait (the property tests construct such
+    a failure).
+
+    This version only trusts orderings every legal schedule must
+    respect: the data and memory arcs of the data-flow graph.  A wait
+    [w] with distance [d] is redundant iff there is a chain of other
+    waits [k1 ... km] with distances summing exactly to [d] such that
+
+    - the source event of [w]'s signal reaches [k1]'s source event
+      through data/memory arcs (so [k1]'s send fires after it),
+    - each [ki]'s sink instruction reaches [k(i+1)]'s source event, and
+    - [km]'s sink instruction reaches [w]'s sink instruction
+
+    (reachability is reflexive).  Removed waits are never used to
+    justify later removals. *)
+
+(** [redundant_waits g] — wait ids of [g.prog] whose [Wait] (and, when
+    it becomes orphaned, the matching [Send]) can be dropped.  [g] must
+    be built over the fully synchronized program; its sync-condition
+    arcs are ignored for the reachability test. *)
+val redundant_waits : Dfg.t -> int list

@@ -1,0 +1,54 @@
+module Ast = Isched_frontend.Ast
+module Instr = Isched_ir.Instr
+
+(* Match the code generator's operator choice: the AST operators map to
+   the same total semantics regardless of int/float context, so we can
+   evaluate with the F* ops (identical in Semantics). *)
+let op_of = function
+  | Ast.Add -> Instr.FAdd
+  | Ast.Sub -> Instr.FSub
+  | Ast.Mul -> Instr.FMul
+  | Ast.Div -> Instr.FDiv
+
+let rec eval_expr mem ~ivar (e : Ast.expr) =
+  match e with
+  | Ast.Num x -> x
+  | Ast.Ivar -> float_of_int ivar
+  | Ast.Scalar s -> Memory.get_scalar mem s
+  | Ast.Aref (a, sub) ->
+    let idx = Semantics.to_int (eval_expr mem ~ivar sub) in
+    Memory.get mem a idx
+  | Ast.Bin (op, x, y) -> Semantics.binop (op_of op) (eval_expr mem ~ivar x) (eval_expr mem ~ivar y)
+  | Ast.Neg x -> Semantics.binop Instr.FSub 0. (eval_expr mem ~ivar x)
+
+let eval_cond mem ~ivar (c : Ast.cond) =
+  let a = eval_expr mem ~ivar c.lhs and b = eval_expr mem ~ivar c.rhs in
+  let op =
+    match c.rel with
+    | Ast.Lt -> Instr.CmpLt
+    | Ast.Le -> Instr.CmpLe
+    | Ast.Gt -> Instr.CmpGt
+    | Ast.Ge -> Instr.CmpGe
+    | Ast.Eq -> Instr.CmpEq
+    | Ast.Ne -> Instr.CmpNe
+  in
+  Semantics.binop op a b <> 0.
+
+let run ?memory (l : Ast.loop) =
+  let mem = match memory with Some m -> m | None -> Memory.create () in
+  for ivar = l.lo to l.hi do
+    List.iter
+      (fun (s : Ast.stmt) ->
+        let enabled = match s.guard with None -> true | Some c -> eval_cond mem ~ivar c in
+        if enabled then begin
+          let v = eval_expr mem ~ivar s.rhs in
+          let tag = Memory.Written { iter = ivar; instr = -1 } in
+          match s.lhs with
+          | Ast.Larr (a, sub) ->
+            let idx = Semantics.to_int (eval_expr mem ~ivar sub) in
+            Memory.set mem a idx v tag
+          | Ast.Lscalar name -> Memory.set_scalar mem name v tag
+        end)
+      l.body
+  done;
+  mem

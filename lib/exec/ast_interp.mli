@@ -1,0 +1,18 @@
+(** Sequential reference interpreter over the source AST.
+
+    The ground truth: iterations run one after another in program order.
+    Every compiled and scheduled execution — sequential three-address
+    ({!Prog_interp}) or parallel ({!Isched_sim}) — must reproduce this
+    final memory (modulo the reconciliations of restructured scalars
+    documented in {!Isched_transform.Restructure}). *)
+
+module Ast := Isched_frontend.Ast
+
+(** [run ?memory l] executes the loop and returns the final memory
+    (a fresh one unless [memory] is given).  Writer tags use the
+    iteration's index value and instr [-1]. *)
+val run : ?memory:Memory.t -> Ast.loop -> Memory.t
+
+(** [eval_expr mem ~ivar e] — evaluate an expression at iteration
+    [ivar] (exposed for tests). *)
+val eval_expr : Memory.t -> ivar:int -> Ast.expr -> float

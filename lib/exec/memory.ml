@@ -1,0 +1,67 @@
+type tag = Initial | Written of { iter : int; instr : int }
+
+type cell = { value : float; tag : tag }
+
+type t = {
+  arrays : (string * int, cell) Hashtbl.t;
+  scalars : (string, cell) Hashtbl.t;
+}
+
+let create () = { arrays = Hashtbl.create 256; scalars = Hashtbl.create 16 }
+
+let get t name idx =
+  match Hashtbl.find_opt t.arrays (name, idx) with
+  | Some c -> c.value
+  | None -> Semantics.init_value name idx
+
+let set t name idx value tag = Hashtbl.replace t.arrays (name, idx) { value; tag }
+
+let tag_of t name idx =
+  match Hashtbl.find_opt t.arrays (name, idx) with Some c -> c.tag | None -> Initial
+
+let get_scalar t name =
+  match Hashtbl.find_opt t.scalars name with
+  | Some c -> c.value
+  | None -> Semantics.init_scalar name
+
+let set_scalar t name value tag = Hashtbl.replace t.scalars name { value; tag }
+
+let scalar_tag_of t name =
+  match Hashtbl.find_opt t.scalars name with Some c -> c.tag | None -> Initial
+
+let written_cells t =
+  Hashtbl.fold (fun k c acc -> (k, c.value) :: acc) t.arrays []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let written_scalars t =
+  Hashtbl.fold (fun k c acc -> (k, c.value) :: acc) t.scalars []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let diff a b =
+  let out = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let keys tbl_a tbl_b fold =
+    let tbl = Hashtbl.create 64 in
+    fold (fun k _ () -> Hashtbl.replace tbl k ()) tbl_a ();
+    fold (fun k _ () -> Hashtbl.replace tbl k ()) tbl_b ();
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+  in
+  let array_keys = keys a.arrays b.arrays (fun f tbl init -> Hashtbl.fold f tbl init) in
+  List.iter
+    (fun (name, idx) ->
+      let va = get a name idx and vb = get b name idx in
+      if not (Semantics.eq va vb) then note "%s[%d]: %h vs %h" name idx va vb)
+    array_keys;
+  let scalar_keys = keys a.scalars b.scalars (fun f tbl init -> Hashtbl.fold f tbl init) in
+  List.iter
+    (fun name ->
+      let va = get_scalar a name and vb = get_scalar b name in
+      if not (Semantics.eq va vb) then note "%s: %h vs %h" name va vb)
+    scalar_keys;
+  List.rev !out
+
+let equal a b = diff a b = []
+
+let pp_tag ppf = function
+  | Initial -> Format.pp_print_string ppf "initial"
+  | Written { iter; instr } -> Format.fprintf ppf "iter %d, instr %d" iter (instr + 1)

@@ -1,0 +1,46 @@
+(** Shared memory with deterministic default contents and write-origin
+    tracking.
+
+    Array cells are addressed by (name, element index); scalars by name.
+    A cell that was never written reads its {!Semantics.init_value}.
+    Every write carries a {e writer tag} — which iteration and which
+    (original-order) instruction produced the value — and every read can
+    report the tag of the write it observed, which is how the stale-data
+    checker compares a parallel execution against the sequential
+    reference. *)
+
+(** Writer tag: [(iteration, body index)]; [initial] for never-written. *)
+type tag = Initial | Written of { iter : int; instr : int }
+
+type t
+
+val create : unit -> t
+
+(** Array cells. *)
+val get : t -> string -> int -> float
+
+val set : t -> string -> int -> float -> tag -> unit
+
+(** [tag_of t name idx] — who wrote the cell last. *)
+val tag_of : t -> string -> int -> tag
+
+(** Scalars. *)
+val get_scalar : t -> string -> float
+
+val set_scalar : t -> string -> float -> tag -> unit
+val scalar_tag_of : t -> string -> tag
+
+(** [written_cells t] — sorted [(name, idx), value] for all array cells
+    ever written; [written_scalars t] likewise. *)
+val written_cells : t -> ((string * int) * float) list
+
+val written_scalars : t -> (string * float) list
+
+(** [equal a b] — the memories agree on every cell either ever wrote
+    (bitwise, NaN-safe); unwritten cells agree by construction. *)
+val equal : t -> t -> bool
+
+(** [diff a b] — cells where they disagree, for error reports. *)
+val diff : t -> t -> string list
+
+val pp_tag : Format.formatter -> tag -> unit

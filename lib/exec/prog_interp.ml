@@ -1,0 +1,53 @@
+module Program = Isched_ir.Program
+module Instr = Isched_ir.Instr
+module Operand = Isched_ir.Operand
+
+let operand regs ~ivar = function
+  | Operand.Reg r -> regs.(r)
+  | Operand.Imm i -> float_of_int i
+  | Operand.Fimm f -> f
+  | Operand.Ivar -> float_of_int ivar
+
+let addr_to_index v = Semantics.to_int v asr 2
+
+let exec_instr mem ?log ~regs ~ivar ~instr_idx ~store (ins : Instr.t) =
+  let ev o = operand regs ~ivar o in
+  let log_read cell index observed =
+    match log with
+    | None -> ()
+    | Some l -> Readlog.add l { Readlog.iter = ivar; instr = instr_idx; cell; index; observed }
+  in
+  match ins with
+  | Instr.Bin { op; dst; a; b } -> regs.(dst) <- Semantics.binop op (ev a) (ev b)
+  | Instr.Select { dst; cond; if_true; if_false } ->
+    regs.(dst) <- Semantics.select (ev cond) (ev if_true) (ev if_false)
+  | Instr.Load { dst; base; addr } ->
+    let index = addr_to_index (ev addr) in
+    log_read base (Some index) (Memory.tag_of mem base index);
+    regs.(dst) <- Memory.get mem base index
+  | Instr.Store { base; addr; src } ->
+    let index = addr_to_index (ev addr) in
+    store ~cell:base ~index:(Some index) ~value:(ev src)
+  | Instr.Load_scalar { dst; name } ->
+    log_read name None (Memory.scalar_tag_of mem name);
+    regs.(dst) <- Memory.get_scalar mem name
+  | Instr.Store_scalar { name; src } -> store ~cell:name ~index:None ~value:(ev src)
+  | Instr.Send _ | Instr.Wait _ -> ()
+
+let run ?memory ?log (p : Program.t) =
+  let mem = match memory with Some m -> m | None -> Memory.create () in
+  let hi = p.Program.lo + p.Program.n_iters - 1 in
+  for ivar = p.Program.lo to hi do
+    let regs = Array.make (max 1 p.Program.n_regs) 0. in
+    Array.iteri
+      (fun instr_idx ins ->
+        let store ~cell ~index ~value =
+          let tag = Memory.Written { iter = ivar; instr = instr_idx } in
+          match index with
+          | Some i -> Memory.set mem cell i value tag
+          | None -> Memory.set_scalar mem cell value tag
+        in
+        exec_instr mem ?log ~regs ~ivar ~instr_idx ~store ins)
+      p.Program.body
+  done;
+  mem

@@ -1,0 +1,36 @@
+type entry = {
+  iter : int;
+  instr : int;
+  cell : string;
+  index : int option;
+  observed : Memory.tag;
+}
+
+type t = entry Isched_util.Vec.t
+
+let create () = Isched_util.Vec.create ()
+let add t e = Isched_util.Vec.push t e
+let to_list t = Isched_util.Vec.to_list t
+
+type mismatch = { expected : Memory.tag; entry : entry }
+
+let compare_logs ~reference ~actual =
+  let ref_tbl = Hashtbl.create 1024 in
+  Isched_util.Vec.iter (fun e -> Hashtbl.replace ref_tbl (e.iter, e.instr) e.observed) reference;
+  let out = ref [] in
+  Isched_util.Vec.iter
+    (fun e ->
+      match Hashtbl.find_opt ref_tbl (e.iter, e.instr) with
+      | Some expected when expected <> e.observed -> out := { expected; entry = e } :: !out
+      | _ -> ())
+    actual;
+  List.rev !out
+
+let pp_mismatch ppf m =
+  let loc =
+    match m.entry.index with
+    | Some i -> Printf.sprintf "%s[%d]" m.entry.cell i
+    | None -> m.entry.cell
+  in
+  Format.fprintf ppf "iteration %d, instr %d reads %s written by %a (sequentially: %a)"
+    m.entry.iter (m.entry.instr + 1) loc Memory.pp_tag m.entry.observed Memory.pp_tag m.expected

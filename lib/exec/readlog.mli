@@ -1,0 +1,33 @@
+(** Read-observation logs for stale-data detection (Section 1's
+    motivation: scheduling a sink before its wait "will have a chance to
+    access stale data").
+
+    Each memory read records which write it observed.  Comparing the log
+    of a parallel execution against the sequential reference's log finds
+    every read that saw the wrong generation of a cell — even when the
+    wrong value happens to coincide with the right one. *)
+
+type entry = {
+  iter : int;  (** reading iteration (index value of [I]) *)
+  instr : int;  (** body index of the reading instruction *)
+  cell : string;  (** array or scalar name *)
+  index : int option;  (** element index, [None] for scalars *)
+  observed : Memory.tag;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> entry -> unit
+val to_list : t -> entry list
+
+type mismatch = { expected : Memory.tag; entry : entry }
+
+(** [compare_logs ~reference ~actual] — entries of [actual] whose
+    observed writer differs from the reference's for the same
+    (iteration, instruction) read.  Reads present in only one log are
+    ignored (if-converted bodies execute the same instructions, so this
+    does not arise between our executors). *)
+val compare_logs : reference:t -> actual:t -> mismatch list
+
+val pp_mismatch : Format.formatter -> mismatch -> unit

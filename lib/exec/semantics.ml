@@ -1,0 +1,35 @@
+module Instr = Isched_ir.Instr
+
+let to_int v = if Float.is_nan v || Float.abs v > 1e9 then 0 else int_of_float v
+
+let div_total a b = if b = 0. then 0. else a /. b
+
+let binop (op : Instr.binop) a b =
+  match op with
+  | Instr.Add | Instr.FAdd -> a +. b
+  | Instr.Sub | Instr.FSub -> a -. b
+  | Instr.Mul | Instr.FMul -> a *. b
+  | Instr.Div | Instr.FDiv -> div_total a b
+  | Instr.Shl -> float_of_int (to_int a lsl max 0 (min 30 (to_int b)))
+  | Instr.Shr -> float_of_int (to_int a asr max 0 (min 30 (to_int b)))
+  | Instr.CmpLt -> if a < b then 1. else 0.
+  | Instr.CmpLe -> if a <= b then 1. else 0.
+  | Instr.CmpGt -> if a > b then 1. else 0.
+  | Instr.CmpGe -> if a >= b then 1. else 0.
+  | Instr.CmpEq -> if a = b then 1. else 0.
+  | Instr.CmpNe -> if a <> b then 1. else 0.
+
+let select cond if_true if_false = if cond <> 0. then if_true else if_false
+
+(* Small, non-zero, deterministic pseudo-contents.  A multiplicative mix
+   of the name hash and the index, folded into 1..9 with a sign. *)
+let init_value name idx =
+  let h = Hashtbl.hash (name, idx land 1023, idx asr 10) in
+  let v = 1 + (h mod 9) in
+  float_of_int (if h land 16 = 0 then -v else v)
+
+let init_scalar name =
+  let h = Hashtbl.hash ("scalar$" ^ name) in
+  float_of_int (1 + (h mod 9))
+
+let eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)

@@ -1,0 +1,31 @@
+(** Shared value semantics for the interpreters and the simulator.
+
+    All run-time values are floats (the benchmarks' arrays are REAL;
+    index arithmetic happens on integral floats).  Every evaluator —
+    the AST reference interpreter, the sequential three-address
+    interpreter and the parallel machine simulator — uses exactly these
+    functions, so their results are bit-comparable.
+
+    Division by zero yields 0 (documented total semantics, so speculated
+    if-converted code can never trap); shifts and address arithmetic
+    clamp non-finite or huge values to 0 before integer conversion. *)
+
+(** [to_int v] — integer view of a value (0 for NaN/inf/huge). *)
+val to_int : float -> int
+
+(** [binop op a b] evaluates an IR operator. *)
+val binop : Isched_ir.Instr.binop -> float -> float -> float
+
+(** [select cond if_true if_false] — [cond <> 0] picks [if_true]. *)
+val select : float -> float -> float -> float
+
+(** [init_value name idx] — deterministic initial content of array cell
+    [name[idx]]; never 0 (so products and divisors stay well-behaved),
+    bounded (so long chains do not overflow instantly). *)
+val init_value : string -> int -> float
+
+(** [init_scalar name] — deterministic initial value of a scalar. *)
+val init_scalar : string -> float
+
+(** [eq v1 v2] — bitwise equality (NaN-safe). *)
+val eq : float -> float -> bool

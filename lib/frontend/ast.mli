@@ -1,0 +1,78 @@
+(** Abstract syntax of the mini-Fortran DO-loop language.
+
+    The language covers what the paper's pipeline consumes: singly-nested
+    [DO]/[DOACROSS] loops over an integer index, whose bodies are
+    (optionally guarded) assignments to array elements or scalars, with
+    arithmetic over array references, scalars, the loop index and
+    constants.  This is the shape of the loops Parafrase leaves behind
+    and of the paper's running example (Fig. 1). *)
+
+type relop = Lt | Le | Gt | Ge | Eq | Ne
+
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Num of float
+  | Ivar  (** the loop index *)
+  | Scalar of string
+  | Aref of string * expr  (** array element; the subscript is any expression *)
+  | Bin of binop * expr * expr
+  | Neg of expr
+
+type cond = { rel : relop; lhs : expr; rhs : expr }
+
+type lhs = Larr of string * expr | Lscalar of string
+
+type stmt = {
+  label : string;  (** e.g. ["S1"]; auto-generated when absent in source *)
+  guard : cond option;  (** [IF (cond) stmt] *)
+  lhs : lhs;
+  rhs : expr;
+}
+
+type loop_kind = Do | Doacross
+
+type loop = {
+  kind : loop_kind;
+  index : string;  (** loop-variable name *)
+  lo : int;
+  hi : int;
+  body : stmt list;
+  name : string;  (** loop identifier for reports *)
+}
+
+(** [iterations l] is [hi - lo + 1] (0 when empty). *)
+val iterations : loop -> int
+
+(** Structural traversals over expressions. *)
+val fold_expr : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+
+(** [arrays_read e] / [scalars_read e] collect reference names, with
+    duplicates, in left-to-right order. *)
+val arrays_read : expr -> (string * expr) list
+
+val scalars_read : expr -> string list
+
+(** [stmt_arrays_read s] includes the guard's reads. *)
+val stmt_arrays_read : stmt -> (string * expr) list
+
+val stmt_scalars_read : stmt -> string list
+
+(** [rename_scalar ~from ~into e] substitutes an expression for every
+    read of scalar [from] (used by induction-variable substitution). *)
+val rename_scalar : from:string -> into:expr -> expr -> expr
+
+(** Pretty-printing back to concrete syntax (round-trips through the
+    parser). *)
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_loop : Format.formatter -> loop -> unit
+val loop_to_string : loop -> string
+
+(** [source_lines l] is the number of source lines the loop occupies when
+    printed (header + statements + terminator), the unit used by the
+    "lines parsed" rows of Table 1. *)
+val source_lines : loop -> int
+
+val equal_expr : expr -> expr -> bool

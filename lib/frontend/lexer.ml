@@ -1,0 +1,174 @@
+type token =
+  | TDo
+  | TDoacross
+  | TEnddo
+  | TIf
+  | TIdent of string
+  | TInt of int
+  | TFloat of float
+  | TAssign
+  | TComma
+  | TColon
+  | TLparen
+  | TRparen
+  | TLbrack
+  | TRbrack
+  | TPlus
+  | TMinus
+  | TStar
+  | TSlash
+  | TLt
+  | TLe
+  | TGt
+  | TGe
+  | TEq
+  | TNe
+  | TNewline
+  | TEof
+
+exception Error of { line : int; col : int; message : string }
+
+type spanned = { tok : token; line : int; col : int }
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_alnum c = is_alpha c || is_digit c
+
+let keyword s =
+  match String.uppercase_ascii s with
+  | "DO" -> Some TDo
+  | "DOACROSS" -> Some TDoacross
+  | "ENDDO" | "END_DO" | "END_DOACROSS" | "ENDDOACROSS" -> Some TEnddo
+  | "IF" -> Some TIf
+  | _ -> None
+
+let tokenize src =
+  let n = String.length src in
+  let out = Isched_util.Vec.create () in
+  let line = ref 1 and col = ref 1 in
+  let pos = ref 0 in
+  let err message = raise (Error { line = !line; col = !col; message }) in
+  let emit tok l c = Isched_util.Vec.push out { tok; line = l; col = c } in
+  let advance () =
+    (if !pos < n then
+       match src.[!pos] with
+       | '\n' ->
+         incr line;
+         col := 1
+       | _ -> incr col);
+    incr pos
+  in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    let l0 = !line and c0 = !col in
+    if c = '\n' then begin
+      (* Collapse runs of blank lines into a single TNewline. *)
+      (match Isched_util.Vec.last out with
+      | exception Not_found -> ()
+      | { tok = TNewline; _ } -> ()
+      | _ -> emit TNewline l0 c0);
+      advance ()
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then advance ()
+    else if c = '!' || c = '#' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if is_alpha c then begin
+      let start = !pos in
+      while !pos < n && is_alnum src.[!pos] do
+        advance ()
+      done;
+      let word = String.sub src start (!pos - start) in
+      match keyword word with Some t -> emit t l0 c0 | None -> emit (TIdent word) l0 c0
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        advance ()
+      done;
+      let is_float = peek 0 = Some '.' && (match peek 1 with Some d -> is_digit d | None -> false) in
+      if is_float then begin
+        advance ();
+        while !pos < n && is_digit src.[!pos] do
+          advance ()
+        done;
+        let text = String.sub src start (!pos - start) in
+        match float_of_string_opt text with
+        | Some f -> emit (TFloat f) l0 c0
+        | None -> err (Printf.sprintf "malformed number %S" text)
+      end
+      else begin
+        let text = String.sub src start (!pos - start) in
+        match int_of_string_opt text with
+        | Some i -> emit (TInt i) l0 c0
+        | None -> err (Printf.sprintf "malformed integer %S" text)
+      end
+    end
+    else begin
+      let two t =
+        advance ();
+        advance ();
+        emit t l0 c0
+      in
+      let one t =
+        advance ();
+        emit t l0 c0
+      in
+      match (c, peek 1) with
+      | '=', Some '=' -> two TEq
+      | '!', _ -> assert false (* handled as comment above *)
+      | '<', Some '>' -> two TNe
+      | '<', Some '=' -> two TLe
+      | '>', Some '=' -> two TGe
+      | '/', Some '=' -> two TNe
+      | '=', _ -> one TAssign
+      | ',', _ -> one TComma
+      | ':', _ -> one TColon
+      | '(', _ -> one TLparen
+      | ')', _ -> one TRparen
+      | '[', _ -> one TLbrack
+      | ']', _ -> one TRbrack
+      | '+', _ -> one TPlus
+      | '-', _ -> one TMinus
+      | '*', _ -> one TStar
+      | '/', _ -> one TSlash
+      | '<', _ -> one TLt
+      | '>', _ -> one TGt
+      | _ -> err (Printf.sprintf "illegal character %C" c)
+    end
+  done;
+  (match Isched_util.Vec.last out with
+  | { tok = TNewline; _ } | (exception Not_found) -> ()
+  | _ -> emit TNewline !line !col);
+  emit TEof !line !col;
+  Isched_util.Vec.to_list out
+
+let token_name = function
+  | TDo -> "DO"
+  | TDoacross -> "DOACROSS"
+  | TEnddo -> "ENDDO"
+  | TIf -> "IF"
+  | TIdent s -> Printf.sprintf "identifier %S" s
+  | TInt i -> Printf.sprintf "integer %d" i
+  | TFloat f -> Printf.sprintf "number %g" f
+  | TAssign -> "'='"
+  | TComma -> "','"
+  | TColon -> "':'"
+  | TLparen -> "'('"
+  | TRparen -> "')'"
+  | TLbrack -> "'['"
+  | TRbrack -> "']'"
+  | TPlus -> "'+'"
+  | TMinus -> "'-'"
+  | TStar -> "'*'"
+  | TSlash -> "'/'"
+  | TLt -> "'<'"
+  | TLe -> "'<='"
+  | TGt -> "'>'"
+  | TGe -> "'>='"
+  | TEq -> "'=='"
+  | TNe -> "'<>'"
+  | TNewline -> "newline"
+  | TEof -> "end of input"

@@ -1,0 +1,47 @@
+(** Hand-written lexer for the mini-Fortran language.
+
+    Newlines are significant (they terminate statements); ['!'] and ['#']
+    start comments that run to the end of the line.  Array subscripts may
+    use brackets ([A\[I\]], the paper's notation) or parentheses
+    ([A(I)], Fortran's). *)
+
+type token =
+  | TDo
+  | TDoacross
+  | TEnddo
+  | TIf
+  | TIdent of string
+  | TInt of int
+  | TFloat of float
+  | TAssign  (** [=] *)
+  | TComma
+  | TColon
+  | TLparen
+  | TRparen
+  | TLbrack
+  | TRbrack
+  | TPlus
+  | TMinus
+  | TStar
+  | TSlash
+  | TLt
+  | TLe
+  | TGt
+  | TGe
+  | TEq  (** [==] *)
+  | TNe  (** [<>] or [/=] ([!] starts a comment) *)
+  | TNewline
+  | TEof
+
+exception Error of { line : int; col : int; message : string }
+
+(** A token together with its source position (1-based). *)
+type spanned = { tok : token; line : int; col : int }
+
+(** [tokenize src] lexes the whole input.  Consecutive newlines are
+    collapsed; the result always ends with a single [TEof].
+    Raises {!Error} on an illegal character or malformed number. *)
+val tokenize : string -> spanned list
+
+(** [token_name t] is a short description for diagnostics. *)
+val token_name : token -> string

@@ -1,0 +1,209 @@
+exception Error of { line : int; col : int; message : string }
+
+type state = { mutable toks : Lexer.spanned list; mutable index_var : string option }
+
+let err (sp : Lexer.spanned) fmt =
+  Printf.ksprintf (fun message -> raise (Error { line = sp.line; col = sp.col; message })) fmt
+
+let peek st = match st.toks with [] -> assert false | sp :: _ -> sp
+
+let advance st = match st.toks with [] -> assert false | _ :: rest -> st.toks <- rest
+
+let next st =
+  let sp = peek st in
+  advance st;
+  sp
+
+let expect st tok what =
+  let sp = next st in
+  if sp.tok <> tok then err sp "expected %s, found %s" what (Lexer.token_name sp.tok)
+
+let skip_newlines st =
+  while (peek st).tok = Lexer.TNewline do
+    advance st
+  done
+
+let ident st what =
+  let sp = next st in
+  match sp.tok with
+  | Lexer.TIdent s -> s
+  | t -> err sp "expected %s, found %s" what (Lexer.token_name t)
+
+let int_lit st what =
+  let sp = next st in
+  match sp.tok with
+  | Lexer.TInt i -> i
+  | Lexer.TMinus -> (
+    let sp2 = next st in
+    match sp2.tok with
+    | Lexer.TInt i -> -i
+    | t -> err sp2 "expected %s, found %s" what (Lexer.token_name t))
+  | t -> err sp "expected %s, found %s" what (Lexer.token_name t)
+
+(* --- expressions --- *)
+
+let rec parse_expr st =
+  let lhs = parse_term st in
+  parse_expr_rest st lhs
+
+and parse_expr_rest st lhs =
+  match (peek st).tok with
+  | Lexer.TPlus ->
+    advance st;
+    let rhs = parse_term st in
+    parse_expr_rest st (Ast.Bin (Ast.Add, lhs, rhs))
+  | Lexer.TMinus ->
+    advance st;
+    let rhs = parse_term st in
+    parse_expr_rest st (Ast.Bin (Ast.Sub, lhs, rhs))
+  | _ -> lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  parse_term_rest st lhs
+
+and parse_term_rest st lhs =
+  match (peek st).tok with
+  | Lexer.TStar ->
+    advance st;
+    let rhs = parse_factor st in
+    parse_term_rest st (Ast.Bin (Ast.Mul, lhs, rhs))
+  | Lexer.TSlash ->
+    advance st;
+    let rhs = parse_factor st in
+    parse_term_rest st (Ast.Bin (Ast.Div, lhs, rhs))
+  | _ -> lhs
+
+and parse_factor st =
+  let sp = next st in
+  match sp.tok with
+  | Lexer.TInt i -> Ast.Num (float_of_int i)
+  | Lexer.TFloat f -> Ast.Num f
+  | Lexer.TMinus -> Ast.Neg (parse_factor st)
+  | Lexer.TLparen ->
+    let e = parse_expr st in
+    expect st Lexer.TRparen "')'";
+    e
+  | Lexer.TIdent name -> (
+    match (peek st).tok with
+    | Lexer.TLbrack ->
+      advance st;
+      let sub = parse_expr st in
+      expect st Lexer.TRbrack "']'";
+      Ast.Aref (name, sub)
+    | Lexer.TLparen ->
+      advance st;
+      let sub = parse_expr st in
+      expect st Lexer.TRparen "')'";
+      Ast.Aref (name, sub)
+    | _ -> if st.index_var = Some name then Ast.Ivar else Ast.Scalar name)
+  | t -> err sp "expected an expression, found %s" (Lexer.token_name t)
+
+let parse_relop st =
+  let sp = next st in
+  match sp.tok with
+  | Lexer.TLt -> Ast.Lt
+  | Lexer.TLe -> Ast.Le
+  | Lexer.TGt -> Ast.Gt
+  | Lexer.TGe -> Ast.Ge
+  | Lexer.TEq -> Ast.Eq
+  | Lexer.TNe -> Ast.Ne
+  | t -> err sp "expected a comparison operator, found %s" (Lexer.token_name t)
+
+(* --- statements --- *)
+
+let parse_lhs st =
+  let sp = peek st in
+  let name = ident st "an assignment target" in
+  match (peek st).tok with
+  | Lexer.TLbrack ->
+    advance st;
+    let sub = parse_expr st in
+    expect st Lexer.TRbrack "']'";
+    Ast.Larr (name, sub)
+  | Lexer.TLparen ->
+    advance st;
+    let sub = parse_expr st in
+    expect st Lexer.TRparen "')'";
+    Ast.Larr (name, sub)
+  | Lexer.TAssign -> Ast.Lscalar name
+  | t -> err sp "expected '[', '(' or '=' after %S, found %s" name (Lexer.token_name t)
+
+let parse_stmt st ~default_label =
+  (* Optional label: IDENT ':' *)
+  let label =
+    match st.toks with
+    | { tok = Lexer.TIdent l; _ } :: { tok = Lexer.TColon; _ } :: rest ->
+      st.toks <- rest;
+      l
+    | _ -> default_label
+  in
+  let guard =
+    if (peek st).tok = Lexer.TIf then begin
+      advance st;
+      expect st Lexer.TLparen "'(' after IF";
+      let lhs = parse_expr st in
+      let rel = parse_relop st in
+      let rhs = parse_expr st in
+      expect st Lexer.TRparen "')' closing the IF condition";
+      Some { Ast.rel; lhs; rhs }
+    end
+    else None
+  in
+  let lhs = parse_lhs st in
+  expect st Lexer.TAssign "'='";
+  let rhs = parse_expr st in
+  { Ast.label; guard; lhs; rhs }
+
+let parse_loop_at st ~name =
+  let sp = peek st in
+  let kind =
+    match sp.tok with
+    | Lexer.TDo -> Ast.Do
+    | Lexer.TDoacross -> Ast.Doacross
+    | t -> err sp "expected DO or DOACROSS, found %s" (Lexer.token_name t)
+  in
+  advance st;
+  let index = ident st "the loop variable" in
+  expect st Lexer.TAssign "'='";
+  let lo = int_lit st "the lower bound" in
+  expect st Lexer.TComma "','";
+  let hi = int_lit st "the upper bound" in
+  expect st Lexer.TNewline "a newline after the loop header";
+  st.index_var <- Some index;
+  let body = ref [] in
+  let count = ref 0 in
+  skip_newlines st;
+  while (peek st).tok <> Lexer.TEnddo do
+    incr count;
+    let s = parse_stmt st ~default_label:(Printf.sprintf "S%d" !count) in
+    body := s :: !body;
+    (match (peek st).tok with
+    | Lexer.TNewline -> advance st
+    | Lexer.TEnddo -> ()
+    | t -> err (peek st) "expected a newline or ENDDO, found %s" (Lexer.token_name t));
+    skip_newlines st
+  done;
+  advance st (* ENDDO *);
+  st.index_var <- None;
+  { Ast.kind; index; lo; hi; body = List.rev !body; name }
+
+let parse ?(name = "loop") src =
+  let st = { toks = Lexer.tokenize src; index_var = None } in
+  let loops = ref [] in
+  let count = ref 0 in
+  skip_newlines st;
+  while (peek st).tok <> Lexer.TEof do
+    incr count;
+    let l = parse_loop_at st ~name:(Printf.sprintf "%s.L%d" name !count) in
+    loops := l :: !loops;
+    skip_newlines st
+  done;
+  List.rev !loops
+
+let parse_loop ?(name = "loop") src =
+  match parse ~name src with
+  | [ l ] -> { l with Ast.name }
+  | ls ->
+    raise
+      (Error { line = 1; col = 1; message = Printf.sprintf "expected exactly one loop, found %d" (List.length ls) })

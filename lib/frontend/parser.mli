@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the mini-Fortran language.
+
+    Grammar (newline-terminated statements):
+    {v
+    file  ::= { loop }
+    loop  ::= ("DO" | "DOACROSS") IDENT "=" INT "," INT NL
+              { stmt NL }
+              "ENDDO"
+    stmt  ::= [ IDENT ":" ] [ "IF" "(" expr relop expr ")" ] lhs "=" expr
+    lhs   ::= IDENT ( "[" expr "]" | "(" expr ")" ) | IDENT
+    expr  ::= term { ("+"|"-") term }
+    term  ::= factor { ("*"|"/") factor }
+    factor::= NUM | IDENT [ subscript ] | "(" expr ")" | "-" factor
+    v}
+    Inside a loop, the loop-variable identifier parses to {!Ast.Ivar};
+    unlabelled statements get labels [S1], [S2], ... by position. *)
+
+exception Error of { line : int; col : int; message : string }
+
+(** [parse ?name src] parses a whole file of loops.  [name] seeds the
+    loop names ([<name>.L1], [<name>.L2], ...).  Raises {!Error} (or
+    {!Lexer.Error}) on malformed input. *)
+val parse : ?name:string -> string -> Ast.loop list
+
+(** [parse_loop ?name src] parses exactly one loop; raises {!Error} when
+    the file does not contain exactly one. *)
+val parse_loop : ?name:string -> string -> Ast.loop

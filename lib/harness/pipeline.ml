@@ -1,0 +1,58 @@
+module Ast = Isched_frontend.Ast
+module Program = Isched_ir.Program
+module Machine = Isched_ir.Machine
+module Restructure = Isched_transform.Restructure
+
+type options = {
+  eliminate : bool;
+  migrate : bool;
+  order_paths : bool;
+  n_iters : int option;
+}
+
+let default_options = { eliminate = false; migrate = false; order_paths = true; n_iters = None }
+
+type prepared =
+  | Doall of Restructure.result
+  | Doacross of {
+      restructured : Restructure.result;
+      prog : Program.t;
+      graph : Isched_dfg.Dfg.t;
+    }
+
+type scheduler = List_scheduling | New_scheduling
+
+let scheduler_name = function
+  | List_scheduling -> "list scheduling"
+  | New_scheduling -> "new instruction scheduling"
+
+let prepare ?(options = default_options) (l : Ast.loop) =
+  let restructured = Restructure.run l in
+  let l' = restructured.Restructure.loop in
+  if Isched_deps.Dep.is_doall l' then Doall restructured
+  else begin
+    let prog =
+      Isched_codegen.Codegen.compile ~eliminate:options.eliminate ~migrate:options.migrate
+        ?n_iters:options.n_iters l'
+    in
+    let graph = Isched_dfg.Dfg.build prog in
+    Doacross { restructured; prog; graph }
+  end
+
+let schedule ?(options = default_options) prepared machine which =
+  match prepared with
+  | Doall r ->
+    invalid_arg
+      (Printf.sprintf "Pipeline.schedule: %s is a DOALL loop" r.Restructure.loop.Ast.name)
+  | Doacross { graph; _ } -> (
+    match which with
+    | List_scheduling -> Isched_core.List_sched.run graph machine
+    | New_scheduling ->
+      let opts =
+        { Isched_core.Sync_sched.default_options with order_paths = options.order_paths }
+      in
+      Isched_core.Sync_sched.run ~options:opts graph machine)
+
+let loop_time ?(options = default_options) prepared machine which =
+  let s = schedule ~options prepared machine which in
+  (Isched_sim.Timing.run s).Isched_sim.Timing.finish

@@ -1,0 +1,51 @@
+(** The paper's Fig. 5 statistical pipeline, end to end:
+
+    benchmark source
+    -> Parafrase surrogate (restructuring + DOALL detection)
+    -> synchronization insertion
+    -> DLX-like code generation
+    -> data-flow graph with sync arcs
+    -> (list | new) scheduling per machine configuration
+    -> timing simulation of the n-processor execution.  *)
+
+module Ast := Isched_frontend.Ast
+module Program := Isched_ir.Program
+module Machine := Isched_ir.Machine
+
+type options = {
+  eliminate : bool;  (** redundant-sync elimination pre-pass (ablation A2) *)
+  migrate : bool;  (** statement migration pre-pass (ablation A3) *)
+  order_paths : bool;  (** new scheduler's damage ordering (ablation A1) *)
+  n_iters : int option;  (** override the loops' trip count *)
+}
+
+val default_options : options
+
+type prepared =
+  | Doall of Isched_transform.Restructure.result
+      (** no carried dependences remain: runs fully parallel, excluded
+          from the DOACROSS statistics exactly like the paper's
+          "extract loops which cannot be parallelized" step *)
+  | Doacross of {
+      restructured : Isched_transform.Restructure.result;
+      prog : Program.t;
+      graph : Isched_dfg.Dfg.t;
+    }
+
+(** [prepare ?options l] runs the front half of the pipeline. *)
+val prepare : ?options:options -> Ast.loop -> prepared
+
+type scheduler = List_scheduling | New_scheduling
+
+(** [schedule ?options prepared m which] — the back half; only valid on
+    [Doacross].  The result passes {!Isched_core.Schedule.validate}. *)
+val schedule :
+  ?options:options -> prepared -> Machine.t -> scheduler -> Isched_core.Schedule.t
+
+(** [loop_time ?options prepared m which] — parallel execution time of
+    the loop from the timing simulator ({!Isched_sim.Timing}).  Like the
+    paper's statistics, only DOACROSS loops are measured; raises
+    [Invalid_argument] on [Doall]. *)
+val loop_time : ?options:options -> prepared -> Machine.t -> scheduler -> int
+
+val scheduler_name : scheduler -> string

@@ -1,0 +1,627 @@
+module Table = Isched_util.Table
+module Machine = Isched_ir.Machine
+module Program = Isched_ir.Program
+module Suite = Isched_perfect.Suite
+module Ast = Isched_frontend.Ast
+
+(* --- Table 1 --- *)
+
+let corpus_stats (b : Suite.benchmark) =
+  let loops = b.Suite.loops in
+  let prepared = List.map (fun l -> (l, Pipeline.prepare l)) loops in
+  let source_lines = List.fold_left (fun acc l -> acc + Ast.source_lines l) 0 loops in
+  let n_doall =
+    List.length (List.filter (fun (_, p) -> match p with Pipeline.Doall _ -> true | _ -> false) prepared)
+  in
+  let progs =
+    List.filter_map
+      (fun (_, p) -> match p with Pipeline.Doacross { prog; _ } -> Some prog | _ -> None)
+      prepared
+  in
+  let dlx = List.fold_left (fun acc p -> acc + Array.length p.Program.body) 0 progs in
+  let lfd = List.fold_left (fun acc p -> acc + Program.n_lfd p) 0 progs in
+  let lbd = List.fold_left (fun acc p -> acc + Program.n_lbd p) 0 progs in
+  (source_lines, List.length loops, n_doall, dlx, lfd, lbd)
+
+let table1 benches =
+  let t =
+    Table.create ~title:"Table 1 - Characteristics of the Perfect-surrogate corpora"
+      ~columns:
+        [
+          ("Items \\ Benchmarks", Table.Left);
+          ("lines parsed", Table.Right);
+          ("total no. of loops", Table.Right);
+          ("no. of Doall loops", Table.Right);
+          ("lines of DLX code", Table.Right);
+          ("total no. of LFD", Table.Right);
+          ("total no. of LBD", Table.Right);
+        ]
+  in
+  let totals = Array.make 6 0 in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let l, nl, nd, dlx, lfd, lbd = corpus_stats b in
+      let row = [ l; nl; nd; dlx; lfd; lbd ] in
+      List.iteri (fun i v -> totals.(i) <- totals.(i) + v) row;
+      Table.add_row t (b.Suite.profile.Isched_perfect.Profile.name :: List.map Table.fmt_int row))
+    benches;
+  Table.add_sep t;
+  Table.add_row t ("TOTAL" :: Array.to_list (Array.map Table.fmt_int totals));
+  t
+
+(* --- Tables 2 and 3 --- *)
+
+type measurement = { benchmark : string; config : string; t_list : int; t_new : int }
+
+let measure ?(options = Pipeline.default_options) benches configs =
+  List.concat_map
+    (fun (b : Suite.benchmark) ->
+      let prepared =
+        List.filter_map
+          (fun l ->
+            match Pipeline.prepare ~options l with
+            | Pipeline.Doall _ -> None
+            | Pipeline.Doacross _ as p -> Some p)
+          b.Suite.loops
+      in
+      List.map
+        (fun (cname, m) ->
+          let total which =
+            List.fold_left (fun acc p -> acc + Pipeline.loop_time ~options p m which) 0 prepared
+          in
+          {
+            benchmark = b.Suite.profile.Isched_perfect.Profile.name;
+            config = cname;
+            t_list = total Pipeline.List_scheduling;
+            t_new = total Pipeline.New_scheduling;
+          })
+        configs)
+    benches
+
+let benchmarks_of ms = List.sort_uniq compare (List.map (fun m -> m.benchmark) ms)
+let configs_of ms =
+  (* preserve first-seen order *)
+  List.fold_left (fun acc m -> if List.mem m.config acc then acc else acc @ [ m.config ]) [] ms
+
+let find ms b c = List.find (fun m -> m.benchmark = b && m.config = c) ms
+
+let table2 ms =
+  let configs = configs_of ms in
+  let columns =
+    ("Benchmarks", Table.Left)
+    :: List.concat_map
+         (fun c ->
+           let tag = c in
+           [ ("Ta " ^ tag, Table.Right); ("Tb " ^ tag, Table.Right) ])
+         configs
+  in
+  let t = Table.create ~title:"Table 2 - Total parallel execution time (cycles, 100 iterations)" ~columns in
+  let totals = Hashtbl.create 8 in
+  let add_total key v = Hashtbl.replace totals key (v + Option.value ~default:0 (Hashtbl.find_opt totals key)) in
+  List.iter
+    (fun b ->
+      let cells =
+        List.concat_map
+          (fun c ->
+            let m = find ms b c in
+            add_total (c, `L) m.t_list;
+            add_total (c, `N) m.t_new;
+            [ Table.fmt_int m.t_list; Table.fmt_int m.t_new ])
+          configs
+      in
+      Table.add_row t (b :: cells))
+    (benchmarks_of ms);
+  Table.add_sep t;
+  let total_cells =
+    List.concat_map
+      (fun c ->
+        [
+          Table.fmt_int (Option.value ~default:0 (Hashtbl.find_opt totals (c, `L)));
+          Table.fmt_int (Option.value ~default:0 (Hashtbl.find_opt totals (c, `N)));
+        ])
+      configs
+  in
+  Table.add_row t ("Total" :: total_cells);
+  t
+
+let improvement ~t_list ~t_new =
+  if t_list <= 0 then 0. else 100. *. float_of_int (t_list - t_new) /. float_of_int t_list
+
+let table3 ms =
+  let configs = configs_of ms in
+  let columns = ("Benchmarks", Table.Left) :: List.map (fun c -> (c, Table.Right)) configs in
+  let t = Table.create ~title:"Table 3 - Improved percentage of parallel execution time" ~columns in
+  List.iter
+    (fun b ->
+      let cells =
+        List.map
+          (fun c ->
+            let m = find ms b c in
+            Table.fmt_pct (improvement ~t_list:m.t_list ~t_new:m.t_new))
+          configs
+      in
+      Table.add_row t (b :: cells))
+    (benchmarks_of ms);
+  Table.add_sep t;
+  let total_cells =
+    List.map
+      (fun c ->
+        let rows = List.filter (fun m -> m.config = c) ms in
+        let tl = List.fold_left (fun a m -> a + m.t_list) 0 rows in
+        let tn = List.fold_left (fun a m -> a + m.t_new) 0 rows in
+        Table.fmt_pct (improvement ~t_list:tl ~t_new:tn))
+      configs
+  in
+  Table.add_row t ("Overall" :: total_cells);
+  t
+
+let overall ms =
+  let agg p =
+    let rows = List.filter (fun m -> p m.config) ms in
+    let tl = List.fold_left (fun a m -> a + m.t_list) 0 rows in
+    let tn = List.fold_left (fun a m -> a + m.t_new) 0 rows in
+    improvement ~t_list:tl ~t_new:tn
+  in
+  let starts_with prefix s = String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix in
+  (agg (starts_with "2-issue"), agg (starts_with "4-issue"))
+
+(* --- categories --- *)
+
+let categories benches =
+  let module Doall = Isched_transform.Doall in
+  let cats = Doall.all_categories in
+  let columns =
+    ("Benchmarks", Table.Left)
+    :: (List.map (fun c -> (Doall.category_name c, Table.Right)) cats @ [ ("doall", Table.Right) ])
+  in
+  let t = Table.create ~title:"DOACROSS loop categories (Chen & Yew's six types)" ~columns in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let counts = Hashtbl.create 8 in
+      let doall = ref 0 in
+      List.iter
+        (fun l ->
+          let l' = (Isched_transform.Restructure.run l).Isched_transform.Restructure.loop in
+          if Isched_deps.Dep.is_doall l' then incr doall
+          else begin
+            let c = Doall.categorize l in
+            Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c))
+          end)
+        b.Suite.loops;
+      let cells =
+        List.map (fun c -> Table.fmt_int (Option.value ~default:0 (Hashtbl.find_opt counts c))) cats
+        @ [ Table.fmt_int !doall ]
+      in
+      Table.add_row t (b.Suite.profile.Isched_perfect.Profile.name :: cells))
+    benches;
+  t
+
+(* --- ablations --- *)
+
+
+let ablation_generic ~title ~variants benches =
+  let columns =
+    ("Benchmarks", Table.Left)
+    :: List.concat_map
+         (fun (vname, _) -> [ (vname ^ " T", Table.Right); (vname ^ " impr", Table.Right) ])
+         variants
+  in
+  let t = Table.create ~title ~columns in
+  (* One reference config: the paper's 4-issue #FU=1 (the config where
+     scheduling matters most). *)
+  let machine = Machine.make ~issue:4 ~nfu:1 () in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let base = ref None in
+      let cells =
+        List.concat_map
+          (fun (_, (options, which)) ->
+            let total =
+              List.fold_left
+                (fun acc l ->
+                  match Pipeline.prepare ~options l with
+                  | Pipeline.Doall _ -> acc
+                  | Pipeline.Doacross _ as p -> acc + Pipeline.loop_time ~options p machine which)
+                0 b.Suite.loops
+            in
+            let impr =
+              match !base with
+              | None ->
+                base := Some total;
+                "-"
+              | Some b0 -> Table.fmt_pct (improvement ~t_list:b0 ~t_new:total)
+            in
+            [ Table.fmt_int total; impr ])
+          variants
+      in
+      Table.add_row t (b.Suite.profile.Isched_perfect.Profile.name :: cells))
+    benches;
+  t
+
+(* Most corpus loops carry a single synchronization path, where the
+   ordering rule cannot matter; A1 therefore uses dedicated kernels with
+   several recurrences of different damage (n/d)*|SP| contending for the
+   same function units. *)
+let multi_path_kernels =
+  [
+    ( "2 recurrences",
+      "DOACROSS I = 1, 100\n\
+      \ S1: W[I] = B[I-4] * C[I] + D[I-1] * Q[I]\n\
+      \ S2: B[I] = W[I] + D[I] * R[I+1]\n\
+      \ S3: A[I] = A[I-1] + E[I]\n\
+       ENDDO" );
+    ( "3 recurrences",
+      "DOACROSS I = 1, 100\n\
+      \ S1: U[I] = U[I-5] * C[I] + D[I]\n\
+      \ S2: V[I] = V[I-2] + E[I] * Q[I]\n\
+      \ S3: A[I] = A[I-1] + E[I+2]\n\
+       ENDDO" );
+    ( "mixed distances",
+      "DOACROSS I = 1, 100\n\
+      \ S1: U[I] = U[I-3] * C[I] + D[I] * Q[I-1]\n\
+      \ S2: A[I] = A[I-1] + E[I+2]\n\
+      \ S3: V[I] = V[I-4] + E[I] * Q[I] * R[I]\n\
+       ENDDO" );
+  ]
+
+let ablation_order _benches =
+  let t =
+    Table.create ~title:"Ablation A1 - sync-path damage ordering ((n/d)|SP|), 2-issue #FU=1"
+      ~columns:
+        [
+          ("Kernel", Table.Left);
+          ("paths", Table.Right);
+          ("list T", Table.Right);
+          ("new unordered T", Table.Right);
+          ("new ordered T", Table.Right);
+          ("ordering gain", Table.Right);
+        ]
+  in
+  let machine = Machine.make ~issue:2 ~nfu:1 () in
+  List.iter
+    (fun (name, src) ->
+      let l = Isched_frontend.Parser.parse_loop ~name src in
+      let prog = Isched_codegen.Codegen.compile l in
+      let g = Isched_dfg.Dfg.build prog in
+      let time s = (Isched_sim.Timing.run s).Isched_sim.Timing.finish in
+      let t_list = time (Isched_core.List_sched.run g machine) in
+      let t_un =
+        time
+          (Isched_core.Sync_sched.run
+             ~options:{ Isched_core.Sync_sched.order_paths = false; compact = true }
+             g machine)
+      in
+      let t_ord = time (Isched_core.Sync_sched.run g machine) in
+      Table.add_row t
+        [
+          name;
+          Table.fmt_int (List.length (Isched_dfg.Dfg.sync_paths g));
+          Table.fmt_int t_list;
+          Table.fmt_int t_un;
+          Table.fmt_int t_ord;
+          Table.fmt_pct (improvement ~t_list:t_un ~t_new:t_ord);
+        ])
+    multi_path_kernels;
+  t
+
+(* Instruction-level elimination is deliberately conservative (a wait
+   is dropped only when data-flow arcs prove every instruction it
+   protects is still ordered); the corpus loops keep all their waits, so
+   A2 measures dedicated kernels where coverage is provable: repeated
+   accesses to one cell, whose flow wait dominates the anti and output
+   waits. *)
+let elimination_kernels =
+  [
+    ("A[5] accumulation", "DOACROSS I = 1, 100\n A[5] = A[5] + E[I]\nENDDO");
+    ("guarded scalar sum", "DOACROSS I = 1, 100\n IF (E[I] > 0) S = S + Q[I] * C[I]\nENDDO");
+    ( "two fixed cells",
+      "DOACROSS I = 1, 100\n S1: A[3] = A[3] + E[I]\n S2: A[7] = A[7] * C[I]\nENDDO" );
+  ]
+
+let ablation_elimination _benches =
+  let t =
+    Table.create ~title:"Ablation A2 - redundant-synchronization elimination, 2-issue #FU=1"
+      ~columns:
+        [
+          ("Kernel", Table.Left);
+          ("waits", Table.Right);
+          ("waits+elim", Table.Right);
+          ("new T", Table.Right);
+          ("new+elim T", Table.Right);
+          ("gain", Table.Right);
+        ]
+  in
+  let machine = Machine.make ~issue:2 ~nfu:1 () in
+  List.iter
+    (fun (name, src) ->
+      let l = Isched_frontend.Parser.parse_loop ~name src in
+      let time prog =
+        let g = Isched_dfg.Dfg.build prog in
+        (Isched_sim.Timing.run (Isched_core.Sync_sched.run g machine)).Isched_sim.Timing.finish
+      in
+      let full = Isched_codegen.Codegen.compile l in
+      let reduced = Isched_codegen.Codegen.compile ~eliminate:true l in
+      let t_full = time full and t_red = time reduced in
+      Table.add_row t
+        [
+          name;
+          Table.fmt_int (Array.length full.Program.waits);
+          Table.fmt_int (Array.length reduced.Program.waits);
+          Table.fmt_int t_full;
+          Table.fmt_int t_red;
+          Table.fmt_pct (improvement ~t_list:t_full ~t_new:t_red);
+        ])
+    elimination_kernels;
+  t
+
+let ablation_migration benches =
+  let base = Pipeline.default_options in
+  let mig = { base with Pipeline.migrate = true } in
+  ablation_generic
+    ~title:"Ablation A3 - statement-level synchronization migration, 4-issue #FU=1"
+    ~variants:
+      [
+        ("list", (base, Pipeline.List_scheduling));
+        ("list+migr", (mig, Pipeline.List_scheduling));
+        ("new", (base, Pipeline.New_scheduling));
+        ("new+migr", (mig, Pipeline.New_scheduling));
+      ]
+    benches
+
+let sweep benches =
+  let configs =
+    List.concat_map
+      (fun issue -> List.map (fun nfu -> (Printf.sprintf "%d-issue/#FU=%d" issue nfu, Machine.make ~issue ~nfu ())) [ 1; 2; 4 ])
+      [ 1; 2; 4; 8 ]
+  in
+  let ms = measure benches configs in
+  let t =
+    Table.create ~title:"Sweep A4 - improvement over issue widths 1-8 and 1-4 function units"
+      ~columns:
+        (("Config", Table.Left)
+        :: (List.map (fun b -> (b, Table.Right)) (benchmarks_of ms) @ [ ("Overall", Table.Right) ]))
+  in
+  List.iter
+    (fun (cname, _) ->
+      let row =
+        List.map
+          (fun b ->
+            let m = find ms b cname in
+            Table.fmt_pct (improvement ~t_list:m.t_list ~t_new:m.t_new))
+          (benchmarks_of ms)
+      in
+      let all_rows = List.filter (fun m -> m.config = cname) ms in
+      let tl = List.fold_left (fun a m -> a + m.t_list) 0 all_rows in
+      let tn = List.fold_left (fun a m -> a + m.t_new) 0 all_rows in
+      Table.add_row t ((cname :: row) @ [ Table.fmt_pct (improvement ~t_list:tl ~t_new:tn) ]))
+    configs;
+  t
+
+
+(* --- A5: three-way scheduler comparison --- *)
+
+let ablation_markers benches =
+  let t =
+    Table.create
+      ~title:"Ablation A5 - list vs marker-guided (ISPAN'94) vs new scheduling, 4-issue #FU=1"
+      ~columns:
+        [
+          ("Benchmarks", Table.Left);
+          ("list T", Table.Right);
+          ("marker T", Table.Right);
+          ("marker impr", Table.Right);
+          ("new T", Table.Right);
+          ("new impr", Table.Right);
+        ]
+  in
+  let machine = Machine.make ~issue:4 ~nfu:1 () in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let totals = ref (0, 0, 0) in
+      List.iter
+        (fun l ->
+          match Pipeline.prepare l with
+          | Pipeline.Doall _ -> ()
+          | Pipeline.Doacross { graph; _ } ->
+            let time s = (Isched_sim.Timing.run s).Isched_sim.Timing.finish in
+            let tl, tm, tn = !totals in
+            totals :=
+              ( tl + time (Isched_core.List_sched.run graph machine),
+                tm + time (Isched_core.Marker_sched.run graph machine),
+                tn + time (Isched_core.Sync_sched.run graph machine) ))
+        b.Suite.loops;
+      let tl, tm, tn = !totals in
+      Table.add_row t
+        [
+          b.Suite.profile.Isched_perfect.Profile.name;
+          Table.fmt_int tl;
+          Table.fmt_int tm;
+          Table.fmt_pct (improvement ~t_list:tl ~t_new:tm);
+          Table.fmt_int tn;
+          Table.fmt_pct (improvement ~t_list:tl ~t_new:tn);
+        ])
+    benches;
+  t
+
+(* --- unroll study --- *)
+
+let unroll_kernels =
+  [
+    ( "consumer+recurrence",
+      "DOACROSS I = 1, 100\n S1: O[I] = A[I-1] * C[I]\n S2: A[I] = A[I-1] + E[I]\nENDDO" );
+    ("tight recurrence", "DOACROSS I = 1, 100\n A[I] = A[I-1] * C[I] + E[I]\nENDDO");
+    ("distance 2", "DOACROSS I = 1, 100\n A[I] = A[I-2] + E[I] * C[I]\nENDDO");
+  ]
+
+let unroll_study () =
+  let factors = [ 1; 2; 4 ] in
+  let t =
+    Table.create ~title:"Unroll study - new scheduling, 4-issue #FU=2, factors 1/2/4"
+      ~columns:
+        (("Kernel", Table.Left)
+        :: List.concat_map
+             (fun u ->
+               [ (Printf.sprintf "u=%d T" u, Table.Right); (Printf.sprintf "u=%d l" u, Table.Right) ])
+             factors)
+  in
+  let machine = Machine.make ~issue:4 ~nfu:2 () in
+  List.iter
+    (fun (name, src) ->
+      let l = Isched_frontend.Parser.parse_loop ~name src in
+      let cells =
+        List.concat_map
+          (fun u ->
+            let lu = Isched_transform.Unroll.run l ~factor:u in
+            let prog = Isched_codegen.Codegen.compile lu in
+            let g = Isched_dfg.Dfg.build prog in
+            let s = Isched_core.Sync_sched.run g machine in
+            [
+              Table.fmt_int (Isched_sim.Timing.run s).Isched_sim.Timing.finish;
+              Table.fmt_int s.Isched_core.Schedule.length;
+            ])
+          factors
+      in
+      Table.add_row t (name :: cells))
+    unroll_kernels;
+  t
+
+(* --- processor sweep --- *)
+
+let processor_sweep benches =
+  let procs = [ 4; 8; 16; 32; 100 ] in
+  let t =
+    Table.create
+      ~title:"Processor sweep - total time under new scheduling, 4-issue #FU=1, cyclic assignment"
+      ~columns:
+        (("Benchmarks", Table.Left)
+        :: List.map (fun p -> (Printf.sprintf "P=%d" p, Table.Right)) procs)
+  in
+  let machine = Machine.make ~issue:4 ~nfu:1 () in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let schedules =
+        List.filter_map
+          (fun l ->
+            match Pipeline.prepare l with
+            | Pipeline.Doall _ -> None
+            | Pipeline.Doacross { graph; _ } -> Some (Isched_core.Sync_sched.run graph machine))
+          b.Suite.loops
+      in
+      let cells =
+        List.map
+          (fun np ->
+            Table.fmt_int
+              (List.fold_left
+                 (fun acc s ->
+                   acc + (Isched_sim.Timing.run ~n_procs:np s).Isched_sim.Timing.finish)
+                 0 schedules))
+          procs
+      in
+      Table.add_row t (b.Suite.profile.Isched_perfect.Profile.name :: cells))
+    benches;
+  t
+
+(* --- register study --- *)
+
+let register_study benches =
+  let ks = [ 6; 8; 12; 16 ] in
+  let t =
+    Table.create
+      ~title:"Register study - spill traffic and time vs register-file size, new scheduling, 4-issue #FU=1"
+      ~columns:
+        (("Benchmarks", Table.Left)
+        :: (List.concat_map
+              (fun k ->
+                [
+                  (Printf.sprintf "k=%d spills" k, Table.Right);
+                  (Printf.sprintf "k=%d T" k, Table.Right);
+                ])
+              ks
+           @ [ ("unlimited T", Table.Right) ]))
+  in
+  let machine = Machine.make ~issue:4 ~nfu:1 () in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let progs =
+        List.filter_map
+          (fun l ->
+            match Pipeline.prepare l with
+            | Pipeline.Doall _ -> None
+            | Pipeline.Doacross { prog; _ } -> Some prog)
+          b.Suite.loops
+      in
+      let time prog =
+        let g = Isched_dfg.Dfg.build prog in
+        (Isched_sim.Timing.run (Isched_core.Sync_sched.run g machine)).Isched_sim.Timing.finish
+      in
+      let cells =
+        List.concat_map
+          (fun k ->
+            let spill_ops = ref 0 and total = ref 0 in
+            List.iter
+              (fun p ->
+                let r = Isched_codegen.Spill.insert p ~k in
+                spill_ops := !spill_ops + r.Isched_codegen.Spill.n_spill_ops;
+                total := !total + time r.Isched_codegen.Spill.prog)
+              progs;
+            [ Table.fmt_int !spill_ops; Table.fmt_int !total ])
+          ks
+      in
+      let unlimited = List.fold_left (fun acc p -> acc + time p) 0 progs in
+      Table.add_row t
+        ((b.Suite.profile.Isched_perfect.Profile.name :: cells) @ [ Table.fmt_int unlimited ]))
+    benches;
+  t
+
+(* --- architecture comparison: software pipelining vs DOACROSS --- *)
+
+let architecture_comparison benches =
+  let t =
+    Table.create
+      ~title:
+        "Architecture comparison - 1 CPU (serial / modulo-scheduled) vs n CPUs (DOACROSS, new scheduling), 4-issue #FU=1"
+      ~columns:
+        [
+          ("Benchmarks", Table.Left);
+          ("serial 1-cpu", Table.Right);
+          ("modulo 1-cpu", Table.Right);
+          ("doacross n-cpu", Table.Right);
+          ("modulo speedup", Table.Right);
+          ("doacross speedup", Table.Right);
+        ]
+  in
+  let machine = Machine.make ~issue:4 ~nfu:1 () in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let serial = ref 0 and modulo = ref 0 and doacross = ref 0 in
+      List.iter
+        (fun l ->
+          match Pipeline.prepare l with
+          | Pipeline.Doall _ -> ()
+          | Pipeline.Doacross { prog; graph; _ } ->
+            (* serial: iterations back to back, sync ops excluded like in
+               the modulo schedule *)
+            let real_ops =
+              Array.fold_left
+                (fun acc ins -> if Isched_ir.Instr.is_sync ins then acc else acc + 1)
+                0 prog.Program.body
+            in
+            serial := !serial + (prog.Program.n_iters * real_ops);
+            let ms = Isched_core.Modulo_sched.run graph machine in
+            modulo := !modulo + Isched_core.Modulo_sched.total_time ms;
+            doacross :=
+              !doacross
+              + (Isched_sim.Timing.run (Isched_core.Sync_sched.run graph machine))
+                  .Isched_sim.Timing.finish)
+        b.Suite.loops;
+      Table.add_row t
+        [
+          b.Suite.profile.Isched_perfect.Profile.name;
+          Table.fmt_int !serial;
+          Table.fmt_int !modulo;
+          Table.fmt_int !doacross;
+          Table.fmt_float ~decimals:1 (float_of_int !serial /. float_of_int (max 1 !modulo));
+          Table.fmt_float ~decimals:1 (float_of_int !serial /. float_of_int (max 1 !doacross));
+        ])
+    benches;
+  t

@@ -1,0 +1,76 @@
+(** Builders for every table of the paper's evaluation, the ablations
+    and the sweeps.  All output goes through {!Isched_util.Table} so the
+    benchmark executable prints a uniform report. *)
+
+module Table := Isched_util.Table
+module Machine := Isched_ir.Machine
+module Suite := Isched_perfect.Suite
+
+(** {2 Table 1 — benchmark characteristics} *)
+
+val table1 : Suite.benchmark list -> Table.t
+
+(** {2 Table 2 / Table 3 — parallel execution times and improvement} *)
+
+type measurement = {
+  benchmark : string;
+  config : string;
+  t_list : int;  (** T_a: total time over the corpus, list scheduling *)
+  t_new : int;  (** T_b: total time, new scheduling *)
+}
+
+(** [measure ?options benches configs] — the full experiment: every
+    DOACROSS loop of every corpus, scheduled both ways on every machine
+    configuration and timed by the simulator. *)
+val measure :
+  ?options:Pipeline.options -> Suite.benchmark list -> (string * Machine.t) list ->
+  measurement list
+
+val table2 : measurement list -> Table.t
+val table3 : measurement list -> Table.t
+
+(** [improvement ~t_list ~t_new] — percentage improvement (paper's
+    Table 3 metric). *)
+val improvement : t_list:int -> t_new:int -> float
+
+(** [overall measurements] — (2-issue, 4-issue) aggregate improvement
+    percentages (the paper quotes 83.37% and 85.1%). *)
+val overall : measurement list -> float * float
+
+(** {2 DOACROSS categories (Section 4.1's six types)} *)
+
+val categories : Suite.benchmark list -> Table.t
+
+(** {2 Ablations} *)
+
+(** A1: value of ordering sync-path groups by damage [(n/d)|SP|]. *)
+val ablation_order : Suite.benchmark list -> Table.t
+
+(** A2: redundant-synchronization elimination stacked on both
+    schedulers. *)
+val ablation_elimination : Suite.benchmark list -> Table.t
+
+(** A3: statement migration stacked on both schedulers. *)
+val ablation_migration : Suite.benchmark list -> Table.t
+
+(** A4: machine sweep beyond the paper's four configurations. *)
+val sweep : Suite.benchmark list -> Table.t
+
+(** A5: three-way comparison against the marker-guided scheduler
+    ({!Isched_core.Marker_sched}, the author's ISPAN'94 technique). *)
+val ablation_markers : Suite.benchmark list -> Table.t
+
+(** Unroll study: the LBD formula's terms under DOACROSS unrolling. *)
+val unroll_study : unit -> Table.t
+
+(** Limited processor pools with cyclic iteration assignment. *)
+val processor_sweep : Suite.benchmark list -> Table.t
+
+(** Register study: spill traffic ({!Isched_codegen.Spill}) and its
+    timing cost as the register file shrinks. *)
+val register_study : Suite.benchmark list -> Table.t
+
+(** Architecture comparison: one software-pipelined processor
+    ({!Isched_core.Modulo_sched}) against the paper's n-processor
+    DOACROSS execution. *)
+val architecture_comparison : Suite.benchmark list -> Table.t

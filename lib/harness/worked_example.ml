@@ -1,0 +1,64 @@
+module Ast = Isched_frontend.Ast
+module Machine = Isched_ir.Machine
+module Dfg = Isched_dfg.Dfg
+
+let fig1_source =
+  {|DOACROSS I = 1, 100
+  S1: B[I] = A[I-2] + E[I+1]
+  S2: G[I-3] = A[I-1] * E[I+2]
+  S3: A[I] = B[I] + C[I+3]
+ENDDO
+|}
+
+let fig1_loop () = Isched_frontend.Parser.parse_loop ~name:"fig1" fig1_source
+
+let fig2_program () =
+  let loop = fig1_loop () in
+  let plan = Isched_sync.Plan.build loop in
+  Isched_codegen.Codegen.run loop plan
+
+let comp_kind_name = function
+  | Dfg.Sig_graph -> "Sig graph"
+  | Dfg.Wat_graph -> "Wat graph"
+  | Dfg.Sigwat_graph -> "Sigwat graph"
+  | Dfg.Plain -> "plain"
+
+let report () =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let loop = fig1_loop () in
+  let plan = Isched_sync.Plan.build loop in
+  pr "=== Fig. 1 - synchronization operation insertion ===\n";
+  pr "%s\n" (Format.asprintf "%a" (fun ppf () -> Isched_sync.Plan.pp_annotated ppf loop plan) ());
+  let prog = Isched_codegen.Codegen.run loop plan in
+  pr "=== Fig. 2 - three-address code ===\n%s\n" (Isched_ir.Program.to_string prog);
+  let g = Dfg.build prog in
+  let comps = Dfg.components g in
+  pr "=== Fig. 3 - Sig/Wat/Sigwat partition ===\n";
+  Array.iter
+    (fun (c : Dfg.component) ->
+      pr "component %d (%s): instructions {%s}\n" c.Dfg.id (comp_kind_name c.Dfg.kind)
+        (String.concat ", " (List.map (fun i -> string_of_int (i + 1)) c.Dfg.nodes)))
+    comps;
+  List.iter
+    (fun (sp : Dfg.sync_path) ->
+      pr "synchronization path SP(Wat%d, Sig%d), d=%d: [%s]\n" sp.Dfg.wait_id sp.Dfg.signal
+        sp.Dfg.distance
+        (String.concat ", " (List.map (fun i -> string_of_int (i + 1)) sp.Dfg.nodes)))
+    (Dfg.sync_paths g);
+  let machine = Machine.make ~issue:4 ~nfu:1 () in
+  let describe name s =
+    pr "\n=== Fig. 4 - %s (4-issue, #FU=1) ===\n%s" name (Isched_core.Schedule.to_string s);
+    let t = Isched_sim.Timing.run s in
+    pr "LBD pairs remaining: %d\n" (Isched_core.Lbd_model.n_lbd s);
+    List.iter
+      (fun r -> pr "  %s\n" (Format.asprintf "%a" Isched_core.Lbd_model.pp_report r))
+      (Isched_core.Lbd_model.pairs s);
+    pr "parallel execution time: simulated %d, analytic (LBD theorem) %d, paper formula %d\n"
+      t.Isched_sim.Timing.finish
+      (Isched_core.Lbd_model.exact_time s)
+      (Isched_core.Lbd_model.paper_time s)
+  in
+  describe "list scheduling" (Isched_core.List_sched.run g machine);
+  describe "new instruction scheduling" (Isched_core.Sync_sched.run g machine);
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** The paper's running example (Figs. 1-4), reproduced end to end:
+    the three-statement DOACROSS loop of Fig. 1, its three-address code
+    (Fig. 2), the Sigwat/Wat partition of the data-flow graph (Fig. 3)
+    and the two schedules of Fig. 4 with their parallel execution
+    times. *)
+
+module Ast := Isched_frontend.Ast
+
+(** The Fig. 1(a) source text. *)
+val fig1_source : string
+
+(** The parsed loop. *)
+val fig1_loop : unit -> Ast.loop
+
+(** The compiled program (Fig. 2; 28 instructions — the paper's Fig. 2
+    prints 27 because it fuses the final add into the store). *)
+val fig2_program : unit -> Isched_ir.Program.t
+
+(** [report ()] — the full worked example as printable text: annotated
+    loop, numbered three-address code, component classification, sync
+    path, both 4-issue schedules, and simulated + analytic times. *)
+val report : unit -> string

@@ -1,0 +1,44 @@
+type kind =
+  | Load_store
+  | Integer
+  | Float
+  | Multiplier
+  | Divider
+  | Shifter
+
+let all = [ Load_store; Integer; Float; Multiplier; Divider; Shifter ]
+
+let name = function
+  | Load_store -> "ld/st"
+  | Integer -> "int"
+  | Float -> "fp"
+  | Multiplier -> "mul"
+  | Divider -> "div"
+  | Shifter -> "shift"
+
+let latency = function
+  | Multiplier -> 3
+  | Divider -> 6
+  | Load_store | Integer | Float | Shifter -> 1
+
+let count = 6
+
+let index = function
+  | Load_store -> 0
+  | Integer -> 1
+  | Float -> 2
+  | Multiplier -> 3
+  | Divider -> 4
+  | Shifter -> 5
+
+let of_index = function
+  | 0 -> Load_store
+  | 1 -> Integer
+  | 2 -> Float
+  | 3 -> Multiplier
+  | 4 -> Divider
+  | 5 -> Shifter
+  | n -> invalid_arg (Printf.sprintf "Fu.of_index: %d" n)
+
+let equal a b = index a = index b
+let pp ppf k = Format.pp_print_string ppf (name k)

@@ -1,0 +1,37 @@
+(** Function-unit model of the target superscalar processor.
+
+    The paper's machine (Section 4.2) has six function-unit types:
+    load/store, integer, floating-point, multiplier, divider and shifter.
+    Multiplies take 3 cycles and divides 6; everything else takes one
+    cycle.  Synchronization operations occupy an issue slot but no
+    function unit. *)
+
+type kind =
+  | Load_store
+  | Integer
+  | Float
+  | Multiplier
+  | Divider
+  | Shifter
+
+(** All unit kinds, in a fixed display order. *)
+val all : kind list
+
+(** Short display name, e.g. ["ld/st"]. *)
+val name : kind -> string
+
+(** Result latency in cycles: 3 for {!Multiplier}, 6 for {!Divider},
+    1 otherwise. *)
+val latency : kind -> int
+
+(** Total number of kinds (for array-indexed resource tables). *)
+val count : int
+
+(** Dense index of a kind in [\[0, count)]. *)
+val index : kind -> int
+
+(** Inverse of {!index}. Raises [Invalid_argument] out of range. *)
+val of_index : int -> kind
+
+val equal : kind -> kind -> bool
+val pp : Format.formatter -> kind -> unit

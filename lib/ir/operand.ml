@@ -1,0 +1,21 @@
+type t = Reg of int | Imm of int | Fimm of float | Ivar
+
+let equal a b =
+  match (a, b) with
+  | Reg x, Reg y -> x = y
+  | Imm x, Imm y -> x = y
+  | Fimm x, Fimm y -> Float.equal x y
+  | Ivar, Ivar -> true
+  | (Reg _ | Imm _ | Fimm _ | Ivar), _ -> false
+
+let compare = Stdlib.compare
+
+let reg = function Reg r -> Some r | Imm _ | Fimm _ | Ivar -> None
+
+let to_string = function
+  | Reg r -> Printf.sprintf "t%d" r
+  | Imm i -> string_of_int i
+  | Fimm f -> Printf.sprintf "%g" f
+  | Ivar -> "I"
+
+let pp ppf o = Format.pp_print_string ppf (to_string o)

@@ -1,0 +1,22 @@
+(** Operands of three-address instructions.
+
+    Registers are virtual (the code generator emits one definition per
+    temporary per iteration, like the [t1..t21] temporaries of the
+    paper's Fig. 2); [Ivar] is the loop index of the current iteration,
+    a per-processor constant under the one-iteration-per-processor
+    execution model. *)
+
+type t =
+  | Reg of int  (** virtual register [t<n>] *)
+  | Imm of int  (** integer immediate *)
+  | Fimm of float  (** floating-point immediate *)
+  | Ivar  (** the loop induction variable [I] *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [reg o] is [Some r] when [o] is [Reg r]. *)
+val reg : t -> int option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

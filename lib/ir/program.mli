@@ -1,0 +1,90 @@
+(** A compiled DOACROSS loop body: one iteration of straight-line
+    three-address code plus the synchronization metadata the schedulers
+    and the simulator need.
+
+    Every loop-carried dependence that must be enforced appears as a
+    (signal, wait) pair: the signal is posted by a [Send] instruction
+    placed after the dependence-source memory operation, and each wait
+    blocks a [Wait] instruction placed before its dependence-sink memory
+    operation.  One signal can serve several waits (the paper's Fig. 1:
+    [Send_Signal(S3)] satisfies both [Wait_Signal(S3, I-2)] and
+    [Wait_Signal(S3, I-1)]). *)
+
+type dep_kind = Flow | Anti | Output
+
+(** Lexical direction of the dependence: [LFD] when the source statement
+    is textually before the sink statement, [LBD] otherwise (including
+    source and sink in the same statement). *)
+type lexical = LFD | LBD
+
+type signal_info = {
+  signal : int;  (** signal id, the index into {!t.signals} *)
+  src_stmt : int;  (** statement id of the dependence source *)
+  src_instr : int;  (** body index of the Src memory operation *)
+  send_instr : int;  (** body index of the [Send] instruction *)
+  label : string;  (** source-statement label, e.g. ["S3"] *)
+}
+
+type wait_info = {
+  wait : int;  (** wait id, the index into {!t.waits} *)
+  signal : int;  (** the signal this wait blocks on *)
+  distance : int;  (** dependence distance [d >= 1] *)
+  snk_stmt : int;  (** statement id of the dependence sink *)
+  snk_instr : int;  (** body index of the Snk memory operation *)
+  wait_instr : int;  (** body index of the [Wait] instruction *)
+  kind : dep_kind;
+  lexical : lexical;
+  array : string;  (** the array (or scalar) carrying the dependence *)
+}
+
+(** Disambiguation record for a memory operation: the element index is
+    [coef * I + offset] when [affine] is [Some (coef, offset)];
+    [None] means the subscript is not analyzable (conservative aliasing
+    in the data-flow graph). *)
+type mem_ref = { base : string; affine : (int * int) option }
+
+type t = {
+  name : string;  (** loop identifier for reports *)
+  body : Instr.t array;  (** original (pre-scheduling) instruction order *)
+  signals : signal_info array;  (** indexed by signal id *)
+  waits : wait_info array;  (** indexed by wait id *)
+  mem : mem_ref option array;  (** per body index; [Some] iff array memory op *)
+  stmt_of : int array;  (** source statement id per body index *)
+  n_regs : int;  (** number of virtual registers *)
+  lo : int;  (** first value of the loop index [I] *)
+  n_iters : int;  (** iteration count [n] of the DOACROSS loop *)
+  source_lines : int;  (** source lines of the loop (Table 1 statistics) *)
+}
+
+(** [validate p] checks internal consistency: index ranges, distances
+    [>= 1], the sync conditions in the *original* order (send after
+    source, wait before sink), and single assignment of virtual
+    registers.  Raises [Invalid_argument] describing the first
+    violation. *)
+val validate : t -> unit
+
+(** [signal_label p s] is e.g. ["S3"]. *)
+val signal_label : t -> int -> string
+
+(** [wait_label p w] is e.g. ["S3, I-2"]. *)
+val wait_label : t -> int -> string
+
+(** Numbers of lexically-forward / backward enforced dependences. *)
+val n_lfd : t -> int
+
+val n_lbd : t -> int
+
+(** [waits_of_signal p s] lists the waits blocked on signal [s]. *)
+val waits_of_signal : t -> int -> wait_info list
+
+(** [pp ppf p] prints the numbered body in the style of the paper's
+    Fig. 2 (1-based instruction numbers). *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [scalars p] is the sorted list of scalar names the body touches. *)
+val scalars : t -> string list
+
+(** [arrays p] is the sorted list of array names the body touches. *)
+val arrays : t -> string list

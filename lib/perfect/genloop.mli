@@ -1,0 +1,27 @@
+(** Deterministic loop generator: turns a {!Profile.t} into a corpus of
+    well-formed mini-Fortran loops.
+
+    Every loop is assembled from dependence {e motifs} chosen by the
+    profile's fractions:
+    - a {e tight recurrence} [C[I] = C[I-d] op e] — the sync path spans
+      the whole (small) body, so scheduling has little room (the QCD
+      shape);
+    - a {e chain} — the sink read happens in the first statement and the
+      source write in the last, connected through intermediate arrays
+      (the Fig. 1 shape, long sync path);
+    - an {e LFD motif} — source statement textually before the sink;
+    - scalar {e reductions}, {e induction variables}, {e guarded}
+      statements and {e index-array} subscripts for the remaining
+      DOACROSS categories;
+    plus independent filler statements that give the scheduler (and the
+    list-scheduling baseline's sends) room to move.
+
+    Generation is purely a function of the profile (seeded PRNG):
+    re-running produces byte-identical corpora.  Every generated loop
+    passes {!Isched_frontend.Sema.check}. *)
+
+module Ast := Isched_frontend.Ast
+
+(** [generate p] — the generated loops of profile [p] (signature loops
+    are added separately by {!Suite}). *)
+val generate : Profile.t -> Ast.loop list

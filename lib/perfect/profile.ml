@@ -1,0 +1,132 @@
+type t = {
+  name : string;
+  description : string;
+  seed : int;
+  n_generated : int;
+  doall_frac : float;
+  stmts_min : int;
+  stmts_max : int;
+  lfd_frac : float;
+  tight_recurrence_frac : float;
+  convertible_frac : float;
+  chain_len_max : int;
+  noise_max : int;
+  distance_weights : (float * int) list;
+  guard_frac : float;
+  reduction_frac : float;
+  iv_frac : float;
+  indirect_frac : float;
+  n_iters : int;
+}
+
+let flq52 =
+  {
+    name = "FLQ52";
+    description = "transonic flow solver: multi-statement stencil relaxations";
+    seed = 0x52F1;
+    n_generated = 14;
+    doall_frac = 0.25;
+    stmts_min = 3;
+    stmts_max = 6;
+    lfd_frac = 0.0;
+    convertible_frac = 0.5;
+    tight_recurrence_frac = 0.1;
+    chain_len_max = 2;
+    noise_max = 20;
+    distance_weights = [ (0.6, 1); (0.3, 2); (0.1, 3) ];
+    guard_frac = 0.0;
+    reduction_frac = 0.0;
+    iv_frac = 0.1;
+    indirect_frac = 0.0;
+    n_iters = 100;
+  }
+
+let qcd =
+  {
+    name = "QCD";
+    description = "lattice gauge theory: compact link-update recurrences";
+    seed = 0x9CD2;
+    n_generated = 10;
+    doall_frac = 0.2;
+    stmts_min = 1;
+    stmts_max = 3;
+    lfd_frac = 0.0;
+    convertible_frac = 0.0;
+    tight_recurrence_frac = 0.85;
+    chain_len_max = 2;
+    noise_max = 1;
+    distance_weights = [ (0.9, 1); (0.1, 2) ];
+    guard_frac = 0.0;
+    reduction_frac = 0.1;
+    iv_frac = 0.0;
+    indirect_frac = 0.1;
+    n_iters = 100;
+  }
+
+let mdg =
+  {
+    name = "MDG";
+    description = "molecular dynamics of water: force accumulations with cutoffs";
+    seed = 0x3D96;
+    n_generated = 14;
+    doall_frac = 0.18;
+    stmts_min = 3;
+    stmts_max = 7;
+    lfd_frac = 0.35;
+    convertible_frac = 0.5;
+    tight_recurrence_frac = 0.15;
+    chain_len_max = 2;
+    noise_max = 20;
+    distance_weights = [ (0.7, 1); (0.2, 2); (0.1, 4) ];
+    guard_frac = 0.25;
+    reduction_frac = 0.3;
+    iv_frac = 0.05;
+    indirect_frac = 0.05;
+    n_iters = 100;
+  }
+
+let track =
+  {
+    name = "TRACK";
+    description = "missile tracking: Kalman-style state recurrences";
+    seed = 0x7AC4;
+    n_generated = 13;
+    doall_frac = 0.2;
+    stmts_min = 3;
+    stmts_max = 6;
+    lfd_frac = 0.0;
+    convertible_frac = 0.65;
+    tight_recurrence_frac = 0.1;
+    chain_len_max = 2;
+    noise_max = 22;
+    distance_weights = [ (0.8, 1); (0.2, 2) ];
+    guard_frac = 0.1;
+    reduction_frac = 0.05;
+    iv_frac = 0.0;
+    indirect_frac = 0.0;
+    n_iters = 100;
+  }
+
+let adm =
+  {
+    name = "ADM";
+    description = "air-pollution model: mixed forward/backward sweeps";
+    seed = 0xAD35;
+    n_generated = 14;
+    doall_frac = 0.22;
+    stmts_min = 2;
+    stmts_max = 6;
+    lfd_frac = 0.35;
+    convertible_frac = 0.4;
+    tight_recurrence_frac = 0.25;
+    chain_len_max = 2;
+    noise_max = 14;
+    distance_weights = [ (0.5, 1); (0.3, 2); (0.2, 3) ];
+    guard_frac = 0.1;
+    reduction_frac = 0.15;
+    iv_frac = 0.15;
+    indirect_frac = 0.05;
+    n_iters = 100;
+  }
+
+let all = [ flq52; qcd; mdg; track; adm ]

@@ -1,0 +1,49 @@
+(** Structural profiles of the five Perfect-benchmark surrogates.
+
+    We do not have the Fortran-77 Perfect Club sources (FLQ52, QCD, MDG,
+    TRACK, ADM), so — per the reproduction's substitution rule — each
+    benchmark is replaced by a deterministic corpus of DOACROSS loops
+    whose {e dependence structure} matches what the paper reports about
+    it: Table 1's loop counts and LFD/LBD mix (FLQ52, QCD and TRACK are
+    all-LBD; almost all LBDs are flow dependences) and Section 4.2's
+    discussion (QCD improves the least, which happens when the
+    wait-to-send chain already spans the whole small loop body).  The
+    experiment pipeline only ever consumes loops through their
+    dependences and generated code, so this preserves the behaviour
+    Tables 2-3 measure. *)
+
+type t = {
+  name : string;
+  description : string;  (** one line on the original benchmark's domain *)
+  seed : int;  (** corpus PRNG seed; fixed per benchmark *)
+  n_generated : int;  (** generated loops, in addition to the signature loops *)
+  doall_frac : float;  (** fraction of generated loops that are DOALL *)
+  stmts_min : int;
+  stmts_max : int;
+  lfd_frac : float;  (** probability a generated carried dep is lexically forward *)
+  tight_recurrence_frac : float;
+      (** probability the LBD is a single-statement self-recurrence
+          (short sync path: the QCD shape) *)
+  convertible_frac : float;
+      (** probability the carrier write does not depend on the carrier
+          reads (time-lagged field update): the LBD is fully
+          convertible to LFD, the shape where the new scheduler wins
+          the most *)
+  chain_len_max : int;  (** max statements in an LBD source-sink chain *)
+  noise_max : int;  (** independent filler statements per loop *)
+  distance_weights : (float * int) list;  (** dependence distance mix *)
+  guard_frac : float;  (** control-dependence statements *)
+  reduction_frac : float;  (** loops containing a scalar reduction *)
+  iv_frac : float;  (** loops containing an induction variable *)
+  indirect_frac : float;  (** loops with an index-array subscript *)
+  n_iters : int;  (** loop trip count (the paper uses 100) *)
+}
+
+val flq52 : t
+val qcd : t
+val mdg : t
+val track : t
+val adm : t
+
+(** The five profiles in the paper's column order. *)
+val all : t list

@@ -1,0 +1,115 @@
+module Ast = Isched_frontend.Ast
+
+type benchmark = { profile : Profile.t; loops : Ast.loop list }
+
+(* Hand-written signature loops.  Each is a small, readable DOACROSS
+   kernel in the benchmark's domain flavour; together with the generated
+   corpus they set the LFD/LBD mix the paper reports (FLQ52, QCD and
+   TRACK all-LBD; MDG and ADM mixed). *)
+
+let flq52_src =
+  {|
+! FLQ52: transonic-flow relaxation.  The potential PHI carries a short
+! recurrence; flux, residual and smoothing statements consume older PHI
+! values but do not feed the recurrence back.
+DOACROSS I = 2, 101
+  S1: FLX[I] = PHI[I-1] * C[I] + E[I+1]
+  S2: RES[I] = FLX[I] - Q[I] * PHI[I-2]
+  S3: SMO[I] = PHI[I-2] + D[I-1] * C[I+2]
+  S4: WRK[I] = E[I] * Q[I+1] + C[I-1]
+  S5: PHI[I] = PHI[I-1] + D[I]
+ENDDO
+
+DOACROSS I = 1, 100
+  S1: W[I] = U[I-1] * R[I] + C[I+2]
+  S2: VSC[I] = U[I-2] * D[I] - E[I+1]
+  S3: OUT[I] = R[I+1] * R[I-1] + Q[I]
+  S4: U[I] = U[I-1] + C[I]
+ENDDO
+|}
+
+let qcd_src =
+  {|
+! QCD: lattice link updates; the whole body is one tight recurrence,
+! so the synchronization path cannot be shortened much.
+DOACROSS I = 1, 100
+  S1: LNK[I] = LNK[I-1] * C[I] + E[I]
+ENDDO
+
+DOACROSS I = 1, 100
+  S1: PLQ[I] = PLQ[I-1] * R[I-1]
+  S2: ACT[I] = PLQ[I] + D[I]
+ENDDO
+|}
+
+let mdg_src =
+  {|
+! MDG: water-molecule dynamics; positions carry a short recurrence,
+! forces accumulate (reduction) and a cutoff test guards the velocity
+! update (control dependence).
+DOACROSS I = 1, 100
+  S1: FRC[I] = POS[I-1] * C[I] + E[I+3]
+  S2: IF (R[I] > 0) VEL[I] = FRC[I] * D[I]
+  S3: PAIR[I] = POS[I-2] + Q[I] * C[I-1]
+  S4: HIST[I] = E[I-1] * D[I+2]
+  S5: POS[I] = POS[I-1] + Q[I]
+ENDDO
+
+DO I = 1, 100
+  S1: EN = EN + FRC[I] * FRC[I]
+  S2: OUT[I] = FRC[I+1] * C[I]
+ENDDO
+|}
+
+let track_src =
+  {|
+! TRACK: Kalman-style state propagation: the estimate recurrence is
+! short, while gain, innovation and covariance statements consume older
+! estimates.
+DOACROSS I = 1, 100
+  S1: GAIN[I] = EST[I-1] * C[I] + R[I]
+  S2: INOV[I] = Q[I+1] - GAIN[I] * D[I]
+  S3: COV[I] = EST[I-2] * E[I] + R[I-1]
+  S4: LOGP[I] = C[I+2] * D[I-2] + Q[I]
+  S5: EST[I] = EST[I-1] + E[I]
+ENDDO
+
+DOACROSS I = 1, 100
+  S1: PRD[I] = SMO[I-2] * C[I+1]
+  S2: RSD[I] = SMO[I-1] + R[I] * E[I-1]
+  S3: SMO[I] = SMO[I-2] + R[I]
+ENDDO
+|}
+
+let adm_src =
+  {|
+! ADM: pollutant transport; a forward-dependence advection sweep plus a
+! diffusion recurrence and an induction-stepped source term.
+DOACROSS I = 1, 100
+  S1: CON[I] = Q[I] + E[I-2] * C[I]
+  S2: ADV[I] = CON[I-1] * D[I]
+ENDDO
+
+DOACROSS I = 1, 100
+  S1: K = K + 2
+  S2: SRC[I] = DIF[I-3] * C[I] + K
+  S3: SET[I] = DIF[I-1] + E[I] * Q[I-2]
+  S4: DIF[I] = DIF[I-3] + C[I+1]
+ENDDO
+|}
+
+let signature_sources (p : Profile.t) =
+  match p.Profile.name with
+  | "FLQ52" -> flq52_src
+  | "QCD" -> qcd_src
+  | "MDG" -> mdg_src
+  | "TRACK" -> track_src
+  | "ADM" -> adm_src
+  | other -> invalid_arg ("Suite.signature_sources: unknown benchmark " ^ other)
+
+let load (p : Profile.t) =
+  let sig_loops = Isched_frontend.Parser.parse ~name:p.Profile.name (signature_sources p) in
+  List.iter Isched_frontend.Sema.check_exn sig_loops;
+  { profile = p; loops = sig_loops @ Genloop.generate p }
+
+let all () = List.map load Profile.all

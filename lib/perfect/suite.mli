@@ -1,0 +1,21 @@
+(** The five benchmark corpora: hand-written signature loops (readable,
+    domain-flavoured, parsed from source text) plus the generated loops
+    of {!Genloop}.  Everything is deterministic. *)
+
+module Ast := Isched_frontend.Ast
+
+type benchmark = {
+  profile : Profile.t;
+  loops : Ast.loop list;  (** signature loops first, then generated *)
+}
+
+(** [load p] builds one corpus. *)
+val load : Profile.t -> benchmark
+
+(** [all ()] — the five corpora in paper order
+    (FLQ52, QCD, MDG, TRACK, ADM). *)
+val all : unit -> benchmark list
+
+(** [signature_sources p] — the hand-written loops' source text (used by
+    the quickstart example and the docs). *)
+val signature_sources : Profile.t -> string

@@ -1,0 +1,75 @@
+module Program = Isched_ir.Program
+module Instr = Isched_ir.Instr
+
+type result = {
+  finish : int;
+  iteration_starts : int array;
+  iteration_finishes : int array;
+  stall_cycles : int;
+}
+
+type assignment = [ `Cyclic | `Block ]
+
+let run_rows ?n_procs ?(assignment = `Cyclic) (p : Program.t) rows =
+  let n = p.Program.n_iters in
+  let n_procs = match n_procs with None -> n | Some np -> np in
+  if n_procs < 1 then invalid_arg "Timing.run_rows: n_procs must be >= 1";
+  (* finish_at.(k) = retirement cycle of iteration k; with a limited
+     processor pool, iteration k waits for its processor's previous
+     iteration.  Cyclic: the predecessor is k - n_procs.  Block: chunks
+     of ceil(n / n_procs) consecutive iterations share a processor. *)
+  let block = (n + n_procs - 1) / n_procs in
+  let prev_on_proc k =
+    match assignment with
+    | `Cyclic -> if k >= n_procs then Some (k - n_procs) else None
+    | `Block -> if k mod block <> 0 then Some (k - 1) else None
+  in
+  let finish_at = Array.make n 0 in
+  (* post.(signal).(k) = cycle at which iteration (lo+k)'s Send executed;
+     -1 when not yet (or never) posted. *)
+  let n_signals = Array.length p.Program.signals in
+  let post = Array.init n_signals (fun _ -> Array.make n (-1)) in
+  let iteration_starts = Array.make n 0 in
+  let finish = ref 0 in
+  let stalls = ref 0 in
+  for k = 0 to n - 1 do
+    let proc_free = match prev_on_proc k with Some j -> finish_at.(j) | None -> 0 in
+    let t = ref (proc_free - 1) in
+    let first = ref None in
+    Array.iter
+      (fun row ->
+        let earliest = !t + 1 in
+        let ready = ref earliest in
+        Array.iter
+          (fun i ->
+            match p.Program.body.(i) with
+            | Instr.Wait { wait } ->
+              let w = p.Program.waits.(wait) in
+              let from = k - w.Program.distance in
+              if from >= 0 then begin
+                let posted = post.(w.Program.signal).(from) in
+                (* Signals flow from lower iterations, simulated already;
+                   a send that exists always executes. *)
+                assert (posted >= 0);
+                ready := max !ready (posted + 1)
+              end
+            | _ -> ())
+          row;
+        stalls := !stalls + (!ready - earliest);
+        t := !ready;
+        if !first = None then first := Some !t;
+        Array.iter
+          (fun i ->
+            match p.Program.body.(i) with
+            | Instr.Send { signal } -> post.(signal).(k) <- !t
+            | _ -> ())
+          row)
+      rows;
+    iteration_starts.(k) <- (match !first with Some c -> c | None -> proc_free);
+    finish_at.(k) <- !t + 1;
+    finish := max !finish (!t + 1)
+  done;
+  { finish = !finish; iteration_starts; iteration_finishes = finish_at; stall_cycles = !stalls }
+
+let run ?n_procs ?assignment (s : Isched_core.Schedule.t) =
+  run_rows ?n_procs ?assignment s.Isched_core.Schedule.prog s.Isched_core.Schedule.rows

@@ -1,0 +1,32 @@
+(** Cycle-accurate, value-accurate simulator of the multiprocessor.
+
+    Unlike {!Timing}, this engine advances all processors together one
+    global cycle at a time and executes real values through shared
+    memory, which lets it witness the stale-data accesses the paper's
+    synchronization conditions exist to prevent:
+
+    - memory writes and signal posts performed in cycle [c] become
+      visible to every processor at cycle [c+1] (within one cycle,
+      reads see the pre-cycle state);
+    - two writes to the same cell in the same cycle are a detected
+      {e race}, resolved deterministically in iteration order;
+    - every read records the write generation it observed
+      ({!Isched_exec.Readlog}); comparing against the sequential
+      reference of {!Isched_exec.Prog_interp} pinpoints stale reads.
+
+    For a schedule built over the full data-flow graph (sync arcs
+    included) the final memory provably matches the sequential
+    reference; the [stale_data_demo] example shows a schedule built
+    {e without} the sync-condition arcs failing this check. *)
+
+type result = {
+  finish : int;  (** parallel execution time in cycles *)
+  memory : Isched_exec.Memory.t;  (** final shared memory *)
+  log : Isched_exec.Readlog.t;  (** all reads, with observed writers *)
+  races : string list;  (** same-cycle write-write conflicts *)
+}
+
+(** [run s] simulates [s] on [s.prog.n_iters] processors.  Raises
+    [Invalid_argument] if the machine fails to retire within a generous
+    cycle bound (which would indicate a scheduler bug). *)
+val run : Isched_core.Schedule.t -> result

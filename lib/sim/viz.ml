@@ -1,0 +1,123 @@
+module Schedule = Isched_core.Schedule
+module Program = Isched_ir.Program
+module Instr = Isched_ir.Instr
+
+let bars ?n_procs ?(max_iters = 24) (s : Schedule.t) =
+  let t = Timing.run ?n_procs s in
+  let n = Array.length t.Timing.iteration_starts in
+  let shown = min n max_iters in
+  ( Array.init shown (fun k -> (t.Timing.iteration_starts.(k), t.Timing.iteration_finishes.(k))),
+    t.Timing.finish )
+
+(* --- ASCII --- *)
+
+let wavefront_ascii ?n_procs ?max_iters (s : Schedule.t) =
+  let bars, finish = bars ?n_procs ?max_iters s in
+  let width = 72 in
+  let scale c = if finish <= width then c else c * width / finish in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "wavefront of %s: %d iterations shown, %d cycles total%s\n"
+       s.Schedule.prog.Program.name (Array.length bars) finish
+       (if finish <= width then "" else Printf.sprintf " (1 column = %.1f cycles)" (float_of_int finish /. float_of_int width)));
+  Array.iteri
+    (fun k (start, stop) ->
+      let a = scale start and b = max (scale start + 1) (scale stop) in
+      Buffer.add_string buf (Printf.sprintf "iter %3d |" (k + s.Schedule.prog.Program.lo));
+      for c = 0 to min (width - 1) (b - 1) do
+        Buffer.add_char buf (if c < a then ' ' else '#')
+      done;
+      Buffer.add_char buf '\n')
+    bars;
+  Buffer.contents buf
+
+(* --- SVG helpers --- *)
+
+let svg_header ~w ~h =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n\
+     <style>text{font-family:monospace;font-size:10px}</style>\n\
+     <rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n"
+    w h w h w h
+
+let wavefront_svg ?n_procs ?max_iters (s : Schedule.t) =
+  let bars, finish = bars ?n_procs ?max_iters s in
+  let n = Array.length bars in
+  let row_h = 14 and left = 60 and plot_w = 640 in
+  let w = left + plot_w + 20 and h = ((n + 2) * row_h) + 30 in
+  let x_of c = left + (c * plot_w / max 1 finish) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (svg_header ~w ~h);
+  Buffer.add_string buf
+    (Printf.sprintf "<text x=\"%d\" y=\"14\">%s: %d cycles for %d iterations</text>\n" left
+       s.Schedule.prog.Program.name finish s.Schedule.prog.Program.n_iters);
+  Array.iteri
+    (fun k (start, stop) ->
+      let y = 20 + (k * row_h) in
+      Buffer.add_string buf
+        (Printf.sprintf "<text x=\"4\" y=\"%d\">iter %d</text>\n" (y + 10)
+           (k + s.Schedule.prog.Program.lo));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#4477aa\" stroke=\"#223\"/>\n"
+           (x_of start) y
+           (max 2 (x_of stop - x_of start))
+           (row_h - 3)))
+    bars;
+  let axis_y = 20 + (n * row_h) + 8 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"black\"/>\n\
+        <text x=\"%d\" y=\"%d\">0</text>\n\
+        <text x=\"%d\" y=\"%d\">%d cycles</text>\n"
+       left axis_y (left + plot_w) axis_y left (axis_y + 12) (left + plot_w - 60) (axis_y + 12)
+       finish);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let schedule_svg (s : Schedule.t) =
+  let p = s.Schedule.prog in
+  let cell_w = 150 and cell_h = 16 and left = 40 in
+  let width = s.Schedule.machine.Isched_ir.Machine.issue_width in
+  let w = left + (width * cell_w) + 20 in
+  let h = (s.Schedule.length * cell_h) + 40 in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (svg_header ~w ~h);
+  Buffer.add_string buf
+    (Printf.sprintf "<text x=\"%d\" y=\"14\">%s: %d rows on %s</text>\n" left p.Program.name
+       s.Schedule.length
+       (Isched_ir.Machine.name s.Schedule.machine));
+  Array.iteri
+    (fun row nodes ->
+      let y = 22 + (row * cell_h) in
+      Buffer.add_string buf (Printf.sprintf "<text x=\"4\" y=\"%d\">%d</text>\n" (y + 12) (row + 1));
+      Array.iteri
+        (fun slot i ->
+          let x = left + (slot * cell_w) in
+          let ins = p.Program.body.(i) in
+          let fill = if Instr.is_sync ins then "#dd7755" else "#cfdcee" in
+          let label =
+            Format.asprintf "%d: %a" (i + 1)
+              (Instr.pp_full ~signal_name:(Program.signal_label p) ~wait_name:(Program.wait_label p))
+              ins
+          in
+          let escaped =
+            String.concat ""
+              (List.map
+                 (fun c ->
+                   match c with
+                   | '<' -> "&lt;"
+                   | '>' -> "&gt;"
+                   | '&' -> "&amp;"
+                   | c -> String.make 1 c)
+                 (List.init (String.length label) (String.get label)))
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" stroke=\"#889\"/>\n\
+                <text x=\"%d\" y=\"%d\">%s</text>\n"
+               x y (cell_w - 2) (cell_h - 2) fill (x + 3) (y + 12) escaped))
+        nodes)
+    s.Schedule.rows;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

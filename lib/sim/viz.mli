@@ -1,0 +1,25 @@
+(** Execution visualization.
+
+    Two renderings, each in ASCII (for terminals and golden tests) and
+    SVG (for reports):
+
+    - the {e wavefront}: iterations on the vertical axis, cycles on the
+      horizontal, one bar per iteration from its start to its
+      retirement.  A DOALL loop draws a solid block (all iterations
+      overlap), a converted LFD loop a one-cycle staircase, and an LBD
+      loop the steep `(i-j+1)`-per-link staircase of the LBD loop
+      theorem — the paper's cost model, made visible;
+
+    - the {e schedule Gantt}: one iteration's rows against the machine's
+      issue slots, each instruction labelled, synchronization
+      operations highlighted. *)
+
+(** [wavefront_ascii ?n_procs ?max_iters s] — at most [max_iters]
+    (default 24) iteration bars, time rescaled to fit 72 columns. *)
+val wavefront_ascii : ?n_procs:int -> ?max_iters:int -> Isched_core.Schedule.t -> string
+
+(** [wavefront_svg ?n_procs ?max_iters s] — standalone SVG document. *)
+val wavefront_svg : ?n_procs:int -> ?max_iters:int -> Isched_core.Schedule.t -> string
+
+(** [schedule_svg s] — standalone SVG of the wide-instruction layout. *)
+val schedule_svg : Isched_core.Schedule.t -> string

@@ -1,0 +1,24 @@
+(** Statement-level synchronization migration (the author's EURO-PAR'95
+    companion technique, implemented here as an optional pre-pass and
+    evaluated as ablation A3).
+
+    Reordering the statements of the loop body — legally, i.e. without
+    breaking any loop-independent dependence — can turn a lexically
+    backward dependence into a lexically forward one before any
+    instruction scheduling happens: if the dependence source statement
+    can be hoisted above the sink statement, the send will precede the
+    wait in program order and the LBD cost disappears at the statement
+    level already.
+
+    The pass builds the intra-iteration dependence DAG over statements
+    and emits a topological order that greedily prefers statements that
+    are sources of carried dependences (so sends happen early) and defers
+    statements that are sinks of carried dependences (so waits happen
+    late). *)
+
+module Ast := Isched_frontend.Ast
+
+(** [reorder l] returns the same loop with a permuted body (labels move
+    with their statements).  The permutation never violates a
+    loop-independent dependence. *)
+val reorder : Ast.loop -> Ast.loop

@@ -1,0 +1,60 @@
+module Ast = Isched_frontend.Ast
+module Dep = Isched_deps.Dep
+module Access = Isched_deps.Access
+
+type signal_decl = { signal : int; src : Access.t; label : string }
+type pair = { wait : int; signal : int; distance : int; dep : Dep.t }
+type t = { signals : signal_decl array; pairs : pair array }
+
+let stmt_label (l : Ast.loop) i =
+  match List.nth_opt l.body i with Some s -> s.Ast.label | None -> Printf.sprintf "S%d" (i + 1)
+
+let of_deps (l : Ast.loop) deps =
+  let carried = List.filter Dep.carried deps in
+  (* Signals: one per distinct source access, in deterministic order. *)
+  let sig_tbl : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+  let signals = Isched_util.Vec.create () in
+  let signal_of (a : Access.t) =
+    let key = (a.stmt, a.idx) in
+    match Hashtbl.find_opt sig_tbl key with
+    | Some s -> s
+    | None ->
+      let s = Isched_util.Vec.length signals in
+      Hashtbl.add sig_tbl key s;
+      Isched_util.Vec.push signals { signal = s; src = a; label = stmt_label l a.stmt };
+      s
+  in
+  let pairs =
+    List.mapi
+      (fun w (d : Dep.t) ->
+        { wait = w; signal = signal_of d.src; distance = Dep.sync_distance d; dep = d })
+      carried
+  in
+  { signals = Isched_util.Vec.to_array signals; pairs = Array.of_list pairs }
+
+let build (l : Ast.loop) =
+  of_deps l (Dep.carried_deps l)
+
+let n_lfd t =
+  Array.fold_left (fun acc p -> if p.dep.Dep.lexical = Dep.LFD then acc + 1 else acc) 0 t.pairs
+
+let n_lbd t =
+  Array.fold_left (fun acc p -> if p.dep.Dep.lexical = Dep.LBD then acc + 1 else acc) 0 t.pairs
+
+let pp_annotated ppf (l : Ast.loop) t =
+  Format.fprintf ppf "DOACROSS %s = %d, %d@." l.index l.lo l.hi;
+  List.iteri
+    (fun i (s : Ast.stmt) ->
+      Array.iter
+        (fun p ->
+          if p.dep.Dep.snk.Access.stmt = i then
+            Format.fprintf ppf "  Wait_Signal(%s, %s-%d)@."
+              t.signals.(p.signal).label l.index p.distance)
+        t.pairs;
+      Format.fprintf ppf "  %a@." Ast.pp_stmt s;
+      Array.iter
+        (fun (sd : signal_decl) ->
+          if sd.src.Access.stmt = i then Format.fprintf ppf "  Send_Signal(%s)@." sd.label)
+        t.signals)
+    l.body;
+  Format.fprintf ppf "END_DOACROSS@."

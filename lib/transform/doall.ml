@@ -1,0 +1,82 @@
+module Ast = Isched_frontend.Ast
+module Dep = Isched_deps.Dep
+
+type category =
+  | Control_dep
+  | Anti_output
+  | Induction
+  | Reduction
+  | Simple_subscript
+  | Other
+
+let is_doall = Dep.is_doall
+
+let parallelize l =
+  let r = Restructure.run l in
+  if Dep.is_doall r.Restructure.loop then `Doall r else `Doacross r
+
+let stmt_guarded (l : Ast.loop) i =
+  match List.nth_opt l.body i with Some s -> s.Ast.guard <> None | None -> false
+
+let categorize (l : Ast.loop) =
+  let carried = Dep.carried_deps l in
+  let involves_guard (d : Dep.t) =
+    stmt_guarded l d.src.Isched_deps.Access.stmt || stmt_guarded l d.snk.Isched_deps.Access.stmt
+  in
+  let scalar_dep (d : Dep.t) = not d.src.Isched_deps.Access.is_array in
+  let has_iv =
+    List.exists
+      (fun (s : Ast.stmt) ->
+        match s.lhs with
+        | Ast.Lscalar n -> (
+          s.guard = None
+          &&
+          match s.rhs with
+          | Ast.Bin ((Ast.Add | Ast.Sub), Ast.Scalar m, e) ->
+            m = n && Isched_deps.Affine.of_expr e <> None
+          | Ast.Bin (Ast.Add, e, Ast.Scalar m) -> m = n && Isched_deps.Affine.of_expr e <> None
+          | _ -> false)
+        | Ast.Larr _ -> false)
+      l.body
+  in
+  let has_reduction =
+    List.exists
+      (fun (s : Ast.stmt) ->
+        match s.lhs with
+        | Ast.Lscalar n -> (
+          match s.rhs with
+          | Ast.Bin ((Ast.Add | Ast.Sub | Ast.Mul), Ast.Scalar m, e) when m = n ->
+            not (List.mem n (Ast.scalars_read e))
+          | Ast.Bin ((Ast.Add | Ast.Mul), e, Ast.Scalar m) when m = n ->
+            not (List.mem n (Ast.scalars_read e))
+          | _ -> false)
+        | Ast.Larr _ -> false)
+      l.body
+  in
+  let affine_flow (d : Dep.t) =
+    d.kind = Dep.Flow
+    && d.src.Isched_deps.Access.affine <> None
+    && d.snk.Isched_deps.Access.affine <> None
+  in
+  let analyzable (d : Dep.t) = d.distance <> Dep.Unknown in
+  if List.exists involves_guard carried then Control_dep
+  else if
+    carried <> []
+    && List.for_all (fun (d : Dep.t) -> d.kind <> Dep.Flow && analyzable d) carried
+  then Anti_output
+  else if has_iv && List.exists scalar_dep carried then Induction
+  else if has_reduction && List.exists scalar_dep carried then Reduction
+  else if carried <> [] && List.for_all (fun d -> scalar_dep d || affine_flow d || d.Dep.kind <> Dep.Flow) carried
+          && List.exists affine_flow carried
+  then Simple_subscript
+  else Other
+
+let category_name = function
+  | Control_dep -> "control dependence"
+  | Anti_output -> "anti/output dependence"
+  | Induction -> "induction variable"
+  | Reduction -> "reduction operation"
+  | Simple_subscript -> "simple subscript"
+  | Other -> "others"
+
+let all_categories = [ Control_dep; Anti_output; Induction; Reduction; Simple_subscript; Other ]

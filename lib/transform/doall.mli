@@ -1,0 +1,34 @@
+(** DOALL detection and DOACROSS loop categorization.
+
+    [Chen & Yew 1991] (the paper's reference for its statistical model)
+    sorts DOACROSS loops into six types: (1) control dependence,
+    (2) anti/output dependence, (3) induction variable, (4) reduction
+    operation, (5) simple subscript expression, (6) others.  The corpus
+    generator and Table 1 statistics use this classification. *)
+
+module Ast := Isched_frontend.Ast
+
+type category =
+  | Control_dep  (** a carried dependence involves a guarded statement *)
+  | Anti_output  (** all carried dependences are anti or output *)
+  | Induction  (** an induction-variable update carries the loop *)
+  | Reduction  (** a reduction accumulation carries the loop *)
+  | Simple_subscript  (** carried flow deps through affine subscripts *)
+  | Other  (** everything else (unanalyzable subscripts, ...) *)
+
+(** [is_doall l] — no carried dependences at all (alias of
+    {!Isched_deps.Dep.is_doall}). *)
+val is_doall : Ast.loop -> bool
+
+(** [parallelize l] runs the restructurer and reports whether the result
+    is a DOALL; this is the Parafrase-surrogate front of the paper's
+    Fig. 5 pipeline. *)
+val parallelize : Ast.loop -> [ `Doall of Restructure.result | `Doacross of Restructure.result ]
+
+(** [categorize l] assigns the loop to the first matching of the six
+    types, in the paper's order.  Only meaningful for loops that are not
+    DOALL. *)
+val categorize : Ast.loop -> category
+
+val category_name : category -> string
+val all_categories : category list

@@ -1,0 +1,47 @@
+(** Loop restructuring: the Parafrase-surrogate transformations.
+
+    Following Chen & Yew's measurements quoted in Section 4.1, the paper
+    converts DO loops into DOACROSS loops using induction-variable
+    substitution, reduction replacement and scalar expansion before
+    inserting synchronization.  This module implements those three
+    transformations:
+
+    - {b induction-variable substitution}: a scalar updated exactly once
+      as [K = K ± c] (constant [c], unguarded) is removed; its uses are
+      replaced by the closed form over the (symbolic) value of [K] at
+      loop entry.
+    - {b reduction replacement}: an unguarded [S = S op e] (op one of
+      add, subtract, multiply) where [S] is not otherwise read or written
+      becomes a private partial result [S_r[I] = e]; the cross-iteration
+      dependence on [S] disappears and the final combine is recorded for
+      the epilogue.
+    - {b scalar expansion}: a scalar always written before it is read
+      within an iteration (and written unconditionally) becomes an array
+      indexed by [I], removing its anti/output carried dependences.
+
+    Each transformation records enough metadata ({!action}) for the
+    value-equivalence checker to reconcile final scalar values. *)
+
+module Ast := Isched_frontend.Ast
+
+type action =
+  | Iv_subst of { name : string; step : int }
+      (** [name] was an induction variable advancing by [step] per
+          iteration; its update statement was deleted *)
+  | Reduction of { name : string; op : Ast.binop; partial : string }
+      (** [name] accumulated with [op]; partials are in array
+          [partial], combined left-to-right over iterations *)
+  | Expanded of { name : string; partial : string }
+      (** scalar [name] was expanded into array [partial];
+          its live-out value is [partial[hi]] *)
+
+type result = { loop : Ast.loop; actions : action list }
+
+(** [run l] applies the three transformations to a fixed point (IV
+    substitution first, then reduction replacement, then scalar
+    expansion) and returns the rewritten loop.  The result's loop [kind]
+    is unchanged; deciding DOALL vs DOACROSS is {!Doall.classify}'s
+    job. *)
+val run : Ast.loop -> result
+
+val pp_action : Format.formatter -> action -> unit

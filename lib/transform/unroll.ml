@@ -1,0 +1,51 @@
+module Ast = Isched_frontend.Ast
+
+let applicable (l : Ast.loop) ~factor =
+  factor > 1 && Ast.iterations l > 0 && Ast.iterations l mod factor = 0
+
+(* Substitute the loop index by [u*I' + off] throughout an expression. *)
+let rec subst_ivar ~coef ~off (e : Ast.expr) =
+  match e with
+  | Ast.Ivar ->
+    Ast.Bin
+      ( Ast.Add,
+        Ast.Bin (Ast.Mul, Ast.Num (float_of_int coef), Ast.Ivar),
+        Ast.Num (float_of_int off) )
+  | Ast.Num _ | Ast.Scalar _ -> e
+  | Ast.Aref (a, sub) -> Ast.Aref (a, subst_ivar ~coef ~off sub)
+  | Ast.Bin (op, x, y) -> Ast.Bin (op, subst_ivar ~coef ~off x, subst_ivar ~coef ~off y)
+  | Ast.Neg x -> Ast.Neg (subst_ivar ~coef ~off x)
+
+let subst_stmt ~coef ~off (s : Ast.stmt) =
+  let sub = subst_ivar ~coef ~off in
+  {
+    s with
+    Ast.guard =
+      Option.map (fun (c : Ast.cond) -> { c with Ast.lhs = sub c.Ast.lhs; rhs = sub c.Ast.rhs }) s.Ast.guard;
+    lhs = (match s.Ast.lhs with Ast.Larr (a, se) -> Ast.Larr (a, sub se) | lhs -> lhs);
+    rhs = sub s.Ast.rhs;
+  }
+
+let run (l : Ast.loop) ~factor =
+  if not (applicable l ~factor) then l
+  else begin
+    let n = Ast.iterations l in
+    (* New index I' = 1 .. n/factor; copy j evaluates the body at
+       I = lo + factor*(I'-1) + j = factor*I' + (lo - factor + j). *)
+    let body =
+      List.concat
+        (List.init factor (fun j ->
+             let off = l.Ast.lo - factor + j in
+             List.map (subst_stmt ~coef:factor ~off) l.Ast.body))
+    in
+    let body =
+      List.mapi (fun i s -> { s with Ast.label = Printf.sprintf "S%d" (i + 1) }) body
+    in
+    {
+      l with
+      Ast.lo = 1;
+      hi = n / factor;
+      body;
+      name = Printf.sprintf "%s.u%d" l.Ast.name factor;
+    }
+  end

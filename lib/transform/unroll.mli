@@ -1,0 +1,23 @@
+(** DOACROSS loop unrolling (an extension the paper's setting invites:
+    giving each processor [u] consecutive iterations changes both the
+    dependence distances and the per-iteration instruction count [l],
+    moving every term of the LBD formula [(n/d)(i-j)+l]).
+
+    Unrolling by [u] rewrites the loop over a new index [I'] running
+    [n/u] times; copy [j] (0-based) of the body evaluates the original
+    statements at [I = lo + u*(I'-1) + j], i.e. every occurrence of the
+    index becomes the affine form [u*I' + (lo - u + j)] — still analyzable
+    by {!Isched_deps.Affine}, so distances rescale automatically
+    (an original distance [d] becomes [ceil(d/u)] or disappears into the
+    body).  Semantics are preserved exactly (checked against the
+    sequential interpreter by the tests). *)
+
+module Ast := Isched_frontend.Ast
+
+(** [run l ~factor] — the unrolled loop.  Returns [l] unchanged when
+    [factor <= 1] or the trip count is not a multiple of [factor]
+    (partial unrolling with remainder loops is out of scope). *)
+val run : Ast.loop -> factor:int -> Ast.loop
+
+(** [applicable l ~factor] — true when [run] would actually unroll. *)
+val applicable : Ast.loop -> factor:int -> bool

@@ -1,0 +1,73 @@
+type 'a entry = { prio : int; tie : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry option array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+let get q i =
+  match q.data.(i) with
+  | Some e -> e
+  | None -> assert false (* slots < size are always populated *)
+
+(* [a] beats [b] when it should pop first. *)
+let beats a b = a.prio > b.prio || (a.prio = b.prio && a.tie < b.tie)
+
+let grow q =
+  let cap = Array.length q.data in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let ndata = Array.make ncap None in
+  Array.blit q.data 0 ndata 0 q.size;
+  q.data <- ndata
+
+let swap q i j =
+  let tmp = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if beats (get q i) (get q parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < q.size && beats (get q l) (get q !best) then best := l;
+  if r < q.size && beats (get q r) (get q !best) then best := r;
+  if !best <> i then begin
+    swap q i !best;
+    sift_down q !best
+  end
+
+let push q ~prio ~tie value =
+  if q.size = Array.length q.data then grow q;
+  q.data.(q.size) <- Some { prio; tie; value };
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then raise Not_found;
+  let top = get q 0 in
+  q.size <- q.size - 1;
+  q.data.(0) <- q.data.(q.size);
+  q.data.(q.size) <- None;
+  if q.size > 0 then sift_down q 0;
+  top.value
+
+let peek q =
+  if q.size = 0 then raise Not_found;
+  (get q 0).value
+
+let to_list q =
+  if q.size = 0 then []
+  else begin
+    let copy = { data = Array.copy q.data; size = q.size } in
+    let rec drain acc = if copy.size = 0 then List.rev acc else drain (pop copy :: acc) in
+    drain []
+  end

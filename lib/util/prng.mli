@@ -1,0 +1,49 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    The corpus generator ({!Isched_perfect}) must produce identical
+    benchmark suites on every run and on every platform, so we do not use
+    [Stdlib.Random].  This is a small splitmix64 implementation: every
+    stream is identified by its 64-bit state, and {!split} derives an
+    independent child stream, which lets each generated loop own a private
+    stream regardless of how many values its siblings consumed. *)
+
+type t
+
+(** [create seed] makes a fresh generator from an integer seed. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent from the remainder of [t]'s stream. *)
+val split : t -> t
+
+(** [bits64 t] returns the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). Raises
+    [Invalid_argument] if [hi < lo]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+val bool : t -> float -> bool
+
+(** [choose t arr] picks a uniform element of [arr]. Raises
+    [Invalid_argument] on an empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** [weighted t choices] picks among [(weight, value)] pairs with
+    probability proportional to the (non-negative) weights. Raises
+    [Invalid_argument] if the weights do not sum to a positive value. *)
+val weighted : t -> (float * 'a) list -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,80 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  rows : row Vec.t;
+}
+
+let create ~title ~columns =
+  { title; headers = List.map fst columns; aligns = List.map snd columns; rows = Vec.create () }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d" (List.length t.headers)
+         (List.length cells));
+  Vec.push t.rows (Cells cells)
+
+let add_sep t = Vec.push t.rows Sep
+
+let utf8_length s =
+  (* Count code points, not bytes, so box-drawing output lines up. *)
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+  !n
+
+let pad align width s =
+  let len = utf8_length s in
+  let fill = String.make (max 0 (width - len)) ' ' in
+  match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let feed cells = List.iteri (fun i c -> widths.(i) <- max widths.(i) (utf8_length c)) cells in
+  feed t.headers;
+  Vec.iter (function Cells c -> feed c | Sep -> ()) t.rows;
+  let buf = Buffer.create 1024 in
+  let line l m r =
+    Buffer.add_string buf l;
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (String.concat "" (List.init (w + 2) (fun _ -> "-")));
+        if i < ncols - 1 then Buffer.add_string buf m)
+      widths;
+    Buffer.add_string buf r;
+    Buffer.add_char buf '\n'
+  in
+  let data cells =
+    Buffer.add_string buf "|";
+    List.iteri
+      (fun i c ->
+        let a = List.nth t.aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  if t.title <> "" then begin
+    Buffer.add_string buf ("== " ^ t.title ^ " ==");
+    Buffer.add_char buf '\n'
+  end;
+  line "+" "+" "+";
+  data t.headers;
+  line "+" "+" "+";
+  Vec.iter (function Cells c -> data c | Sep -> line "+" "+" "+") t.rows;
+  line "+" "+" "+";
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_int n = string_of_int n
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_pct ?(decimals = 2) x = Printf.sprintf "%.*f%%" decimals x

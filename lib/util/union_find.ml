@@ -1,0 +1,42 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find t p in
+    t.parent.(x) <- r;
+    r
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then rx
+  else if t.rank.(rx) < t.rank.(ry) then begin
+    t.parent.(rx) <- ry;
+    ry
+  end
+  else if t.rank.(rx) > t.rank.(ry) then begin
+    t.parent.(ry) <- rx;
+    rx
+  end
+  else begin
+    t.parent.(ry) <- rx;
+    t.rank.(rx) <- t.rank.(rx) + 1;
+    rx
+  end
+
+let same t x y = find t x = find t y
+
+let groups t =
+  let n = Array.length t.parent in
+  let tbl = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let prev = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: prev)
+  done;
+  Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

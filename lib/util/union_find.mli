@@ -1,0 +1,24 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used to group overlapping synchronization paths (paths that share a
+    node must be scheduled together, see Section 3.2 of the paper) and to
+    compute weakly-connected components of the data-flow graph. *)
+
+type t
+
+(** [create n] makes [n] singleton sets [{0}, ..., {n-1}]. *)
+val create : int -> t
+
+(** [find t x] is the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union t x y] merges the sets of [x] and [y]; returns the new
+    representative. *)
+val union : t -> int -> int -> int
+
+(** [same t x y] tests whether [x] and [y] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** [groups t] lists the sets as (representative, members) pairs, members
+    in increasing order, groups ordered by representative. *)
+val groups : t -> (int * int list) list

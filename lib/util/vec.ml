@@ -1,0 +1,48 @@
+type 'a t = { mutable data : 'a option array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length v = v.size
+
+let grow v =
+  let cap = Array.length v.data in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let ndata = Array.make ncap None in
+  Array.blit v.data 0 ndata 0 v.size;
+  v.data <- ndata
+
+let push v x =
+  if v.size = Array.length v.data then grow v;
+  v.data.(v.size) <- Some x;
+  v.size <- v.size + 1
+
+let get v i =
+  if i < 0 || i >= v.size then invalid_arg "Vec.get";
+  match v.data.(i) with Some x -> x | None -> assert false
+
+let set v i x =
+  if i < 0 || i >= v.size then invalid_arg "Vec.set";
+  v.data.(i) <- Some x
+
+let to_array v = Array.init v.size (fun i -> get v i)
+let to_list v = List.init v.size (fun i -> get v i)
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f (get v i)
+  done
+
+let iteri f v =
+  for i = 0 to v.size - 1 do
+    f i (get v i)
+  done
+
+let last v = if v.size = 0 then raise Not_found else get v (v.size - 1)
+
+let clear v =
+  Array.fill v.data 0 v.size None;
+  v.size <- 0

@@ -1,0 +1,298 @@
+(* Tests for the code generator (Fig. 2 golden test, CSE, if-conversion,
+   sync placement) and the register-allocation analysis. *)
+
+module Codegen = Isched_codegen.Codegen
+module Regalloc = Isched_codegen.Regalloc
+module Instr = Isched_ir.Instr
+module Operand = Isched_ir.Operand
+module Program = Isched_ir.Program
+module Parser = Isched_frontend.Parser
+
+let check = Alcotest.check
+let parse = Parser.parse_loop
+
+let compile src = Codegen.compile (parse src)
+
+let fig1 =
+  "DOACROSS I = 1, 100\n\
+  \ S1: B[I] = A[I-2] + E[I+1]\n\
+  \ S2: G[I-3] = A[I-1] * E[I+2]\n\
+  \ S3: A[I] = B[I] + C[I+3]\n\
+   ENDDO"
+
+(* A compact structural signature of an instruction for golden tests. *)
+let sig_of (p : Program.t) i =
+  match p.Program.body.(i) with
+  | Instr.Bin { op; _ } -> Instr.binop_name op
+  | Instr.Select _ -> "select"
+  | Instr.Load { base; _ } -> "ld " ^ base
+  | Instr.Store { base; _ } -> "st " ^ base
+  | Instr.Load_scalar { name; _ } -> "lds " ^ name
+  | Instr.Store_scalar { name; _ } -> "sts " ^ name
+  | Instr.Send _ -> "send"
+  | Instr.Wait _ -> "wait"
+
+let signature p = List.init (Array.length p.Program.body) (sig_of p)
+
+let test_fig2_golden () =
+  (* The paper's Fig. 2, instruction for instruction (28 instead of 27
+     because Fig. 2 fuses its final add into the store). *)
+  let p = compile fig1 in
+  check
+    Alcotest.(list string)
+    "Fig. 2 structure"
+    [
+      "wait" (* 1  Wait_Signal(S3, I-2) *);
+      "<<" (* 2  t0 := I << 2            (the paper's 4*I) *);
+      "+" (* 3  t1 := I - 2 *);
+      "<<" (* 4  t2 := t1 << 2 *);
+      "ld A" (* 5  t3 := A[t2] *);
+      "+" (* 6  t4 := I + 1 *);
+      "<<" (* 7  t5 := t4 << 2 *);
+      "ld E" (* 8  t6 := E[t5] *);
+      "+." (* 9  t7 := t3 + t6 *);
+      "st B" (* 10 B[t0] := t7 *);
+      "wait" (* 11 Wait_Signal(S3, I-1) *);
+      "+" (* 12 t8 := I - 3 *);
+      "<<" (* 13 t9 := t8 << 2 *);
+      "+" (* 14 t10 := I - 1 *);
+      "<<" (* 15 t11 := t10 << 2 *);
+      "ld A" (* 16 t12 := A[t11] *);
+      "+" (* 17 t13 := I + 2 *);
+      "<<" (* 18 t14 := t13 << 2 *);
+      "ld E" (* 19 t15 := E[t14] *);
+      "*." (* 20 t16 := t12 * t15 *);
+      "st G" (* 21 G[t9] := t16 *);
+      "ld B" (* 22 t17 := B[t0]            (address t0 reused) *);
+      "+" (* 23 t18 := I + 3 *);
+      "<<" (* 24 t19 := t18 << 2 *);
+      "ld C" (* 25 t20 := C[t19] *);
+      "+." (* 26 t21 := t17 + t20 *);
+      "st A" (* 27 A[t0] := t21 *);
+      "send" (* 28 Send_Signal(S3) *);
+    ]
+    (signature p)
+
+let test_address_cse () =
+  (* 4*I is computed once and reused by instructions 10, 22 and 27. *)
+  let p = compile fig1 in
+  let addr_of i =
+    match p.Program.body.(i) with
+    | Instr.Store { addr; _ } -> Some addr
+    | Instr.Load { addr; _ } -> Some addr
+    | _ -> None
+  in
+  check Alcotest.(option (testable Operand.pp Operand.equal)) "store B addr" (addr_of 9) (addr_of 21);
+  check Alcotest.(option (testable Operand.pp Operand.equal)) "store A addr" (addr_of 9) (addr_of 26)
+
+let test_loads_not_cse_across_store () =
+  (* B[I] is stored by S1 and must be reloaded by S3 even though the
+     address is shared. *)
+  let p = compile fig1 in
+  let loads_of_b =
+    Array.to_list p.Program.body
+    |> List.filter (function Instr.Load { base = "B"; _ } -> true | _ -> false)
+  in
+  check Alcotest.int "one load of B (reload, not reuse)" 1 (List.length loads_of_b)
+
+let test_readonly_load_cse () =
+  (* E[I] read twice, E never written: one load suffices. *)
+  let p = compile "DO I = 1, 10\n S1: B[I] = E[I] + E[I]\n S2: C2[I] = E[I]\nENDDO" in
+  let loads_of_e =
+    Array.to_list p.Program.body
+    |> List.filter (function Instr.Load { base = "E"; _ } -> true | _ -> false)
+  in
+  check Alcotest.int "single load of E" 1 (List.length loads_of_e)
+
+let test_written_array_loads_not_cse () =
+  let p = compile "DO I = 1, 10\n S1: A[I] = E[I]\n S2: B[I] = A[I] + A[I]\nENDDO" in
+  let loads_of_a =
+    Array.to_list p.Program.body
+    |> List.filter (function Instr.Load { base = "A"; _ } -> true | _ -> false)
+  in
+  check Alcotest.int "A reloaded per read" 2 (List.length loads_of_a)
+
+let test_scalar_load_cse () =
+  let p = compile "DO I = 1, 10\n S1: B[I] = K * E[I]\n S2: C2[I] = K + E[I+1]\nENDDO" in
+  let loads =
+    Array.to_list p.Program.body
+    |> List.filter (function Instr.Load_scalar { name = "K"; _ } -> true | _ -> false)
+  in
+  check Alcotest.int "read-only scalar loaded once" 1 (List.length loads)
+
+let test_guard_if_conversion () =
+  let p = compile "DO I = 1, 10\n IF (E[I] > 0) A[I] = A[I-1] + 1\nENDDO" in
+  let has_select =
+    Array.exists (function Instr.Select _ -> true | _ -> false) p.Program.body
+  in
+  let has_cmp =
+    Array.exists
+      (function Instr.Bin { op = Instr.CmpGt; _ } -> true | _ -> false)
+      p.Program.body
+  in
+  Alcotest.(check bool) "select emitted" true has_select;
+  Alcotest.(check bool) "compare emitted" true has_cmp;
+  (* The if-converted store still stores every iteration. *)
+  Program.validate p
+
+let test_guarded_scalar_store () =
+  let p = compile "DO I = 1, 10\n IF (E[I] > 0) S = S + 1\nENDDO" in
+  Alcotest.(check bool) "old value load present" true
+    (Array.exists (function Instr.Load_scalar { name = "S"; _ } -> true | _ -> false) p.Program.body);
+  Program.validate p
+
+let test_int_vs_float_ops () =
+  let p = compile "DO I = 1, 10\n A[I] = E[I] * C[I] + 1\nENDDO" in
+  let ops =
+    Array.to_list p.Program.body
+    |> List.filter_map (function Instr.Bin { op; _ } -> Some op | _ -> None)
+  in
+  Alcotest.(check bool) "value multiply on FP multiplier" true (List.mem Instr.FMul ops);
+  Alcotest.(check bool) "value add is FP" true (List.mem Instr.FAdd ops);
+  Alcotest.(check bool) "no integer multiply" false (List.mem Instr.Mul ops)
+
+let test_coef_subscript () =
+  let p = compile "DO I = 1, 10\n A[2*I+1] = E[I]\nENDDO" in
+  let ops =
+    Array.to_list p.Program.body
+    |> List.filter_map (function Instr.Bin { op; _ } -> Some op | _ -> None)
+  in
+  Alcotest.(check bool) "integer multiply for the coefficient" true (List.mem Instr.Mul ops)
+
+let test_constant_subscript_folded () =
+  let p = compile "DO I = 1, 10\n A[5] = E[I]\nENDDO" in
+  (* The address of A[5] is an immediate: no shift emitted for it. *)
+  let store_addr =
+    Array.to_list p.Program.body
+    |> List.find_map (function Instr.Store { addr; _ } -> Some addr | _ -> None)
+  in
+  check
+    Alcotest.(option (testable Operand.pp Operand.equal))
+    "immediate address" (Some (Operand.Imm 20)) store_addr
+
+let test_float_literal () =
+  let p = compile "DO I = 1, 10\n A[I] = E[I] * 2.5\nENDDO" in
+  let uses_fimm =
+    Array.exists
+      (function
+        | Instr.Bin { b = Operand.Fimm 2.5; _ } | Instr.Bin { a = Operand.Fimm 2.5; _ } -> true
+        | _ -> false)
+      p.Program.body
+  in
+  Alcotest.(check bool) "float immediate" true uses_fimm
+
+let test_sync_positions () =
+  let p = compile fig1 in
+  Array.iter
+    (fun (w : Program.wait_info) ->
+      Alcotest.(check bool) "wait before sink" true (w.Program.wait_instr < w.Program.snk_instr))
+    p.Program.waits;
+  Array.iter
+    (fun (s : Program.signal_info) ->
+      Alcotest.(check bool) "send after source" true (s.Program.send_instr > s.Program.src_instr);
+      (* immediately after: nothing between source and send *)
+      check Alcotest.int "send immediately follows its source" (s.Program.src_instr + 1)
+        s.Program.send_instr)
+    p.Program.signals
+
+let test_anti_dep_send_after_read () =
+  (* Anti dependence: the source event is the READ; the send must follow
+     that load, not the statement's store. *)
+  let p = compile "DOACROSS I = 1, 10\n S1: B[I] = A[I+1]\n S2: A[I] = E[I]\nENDDO" in
+  Array.iter
+    (fun (s : Program.signal_info) ->
+      match p.Program.body.(s.Program.src_instr) with
+      | Instr.Load { base = "A"; _ } -> ()
+      | other -> Alcotest.failf "source should be the A load, got %s" (Instr.to_string other))
+    p.Program.signals
+
+let test_compile_n_iters_override () =
+  let l = parse "DO I = 1, 10\n A[I] = A[I-1]\nENDDO" in
+  let p = Codegen.compile ~n_iters:500 l in
+  check Alcotest.int "override" 500 p.Program.n_iters
+
+let test_every_generated_loop_compiles () =
+  List.iter
+    (fun (b : Isched_perfect.Suite.benchmark) ->
+      List.iter
+        (fun l ->
+          let p = Codegen.compile l in
+          Program.validate p)
+        b.Isched_perfect.Suite.loops)
+    (Isched_perfect.Suite.all ())
+
+(* --- Regalloc --- *)
+
+let test_live_ranges () =
+  let p = compile "DO I = 1, 10\n A[I] = E[I] + C[I]\nENDDO" in
+  let order = Regalloc.original_order p in
+  let ranges = Regalloc.live_ranges p ~order in
+  Array.iter
+    (fun (start, stop) -> Alcotest.(check bool) "start <= stop" true (start <= stop))
+    ranges
+
+let test_max_pressure_bounds () =
+  let p = compile fig1 in
+  let order = Regalloc.original_order p in
+  let pressure = Regalloc.max_pressure p ~order in
+  Alcotest.(check bool) "positive" true (pressure >= 1);
+  Alcotest.(check bool) "bounded by register count" true (pressure <= p.Program.n_regs)
+
+let test_linear_scan_enough_regs () =
+  let p = compile fig1 in
+  let order = Regalloc.original_order p in
+  let pressure = Regalloc.max_pressure p ~order in
+  let alloc = Regalloc.linear_scan p ~order ~k:pressure in
+  check Alcotest.int "no spills at peak pressure" 0 alloc.Regalloc.spills;
+  (* Allocated registers never clash while live. *)
+  let ranges = Regalloc.live_ranges p ~order in
+  Array.iteri
+    (fun r1 (s1, e1) ->
+      Array.iteri
+        (fun r2 (s2, e2) ->
+          if r1 < r2 && s1 >= 0 && s2 >= 0 then begin
+            let a1 = alloc.Regalloc.assignment.(r1) and a2 = alloc.Regalloc.assignment.(r2) in
+            if a1 >= 0 && a1 = a2 then
+              Alcotest.(check bool) "overlapping lives get distinct registers" false
+                (max s1 s2 <= min e1 e2)
+          end)
+        ranges)
+    ranges
+
+let test_linear_scan_spills_when_tight () =
+  let p = compile fig1 in
+  let order = Regalloc.original_order p in
+  let alloc = Regalloc.linear_scan p ~order ~k:2 in
+  Alcotest.(check bool) "spills with 2 registers" true (alloc.Regalloc.spills > 0);
+  Alcotest.(check bool) "some values still in registers" true
+    (Array.exists (fun a -> a >= 0) alloc.Regalloc.assignment)
+
+let test_linear_scan_invalid_k () =
+  let p = compile fig1 in
+  Alcotest.check_raises "k = 0" (Invalid_argument "Regalloc.linear_scan: k must be positive")
+    (fun () -> ignore (Regalloc.linear_scan p ~order:(Regalloc.original_order p) ~k:0))
+
+let suite =
+  [
+    ("fig2: golden instruction sequence", `Quick, test_fig2_golden);
+    ("cse: addresses shared across statements", `Quick, test_address_cse);
+    ("cse: loads not reused across stores", `Quick, test_loads_not_cse_across_store);
+    ("cse: read-only array loads reused", `Quick, test_readonly_load_cse);
+    ("cse: written arrays reloaded", `Quick, test_written_array_loads_not_cse);
+    ("cse: read-only scalars loaded once", `Quick, test_scalar_load_cse);
+    ("guards: if-conversion emits compare+select", `Quick, test_guard_if_conversion);
+    ("guards: scalar stores keep the old value", `Quick, test_guarded_scalar_store);
+    ("ops: value arithmetic on FP units", `Quick, test_int_vs_float_ops);
+    ("ops: coefficient subscripts use the multiplier", `Quick, test_coef_subscript);
+    ("ops: constant subscripts fold to immediates", `Quick, test_constant_subscript_folded);
+    ("ops: non-integer literals become float immediates", `Quick, test_float_literal);
+    ("sync: waits precede sinks, sends follow sources", `Quick, test_sync_positions);
+    ("sync: anti-dependence sends follow the read", `Quick, test_anti_dep_send_after_read);
+    ("compile: n_iters override", `Quick, test_compile_n_iters_override);
+    ("compile: the whole corpus compiles and validates", `Quick, test_every_generated_loop_compiles);
+    ("regalloc: live ranges well-formed", `Quick, test_live_ranges);
+    ("regalloc: pressure bounds", `Quick, test_max_pressure_bounds);
+    ("regalloc: conflict-free at peak pressure", `Quick, test_linear_scan_enough_regs);
+    ("regalloc: spills under tight budgets", `Quick, test_linear_scan_spills_when_tight);
+    ("regalloc: rejects k <= 0", `Quick, test_linear_scan_invalid_k);
+  ]

@@ -1,0 +1,253 @@
+(* Tests for affine subscript analysis, access extraction and the
+   dependence analysis. *)
+
+module Affine = Isched_deps.Affine
+module Access = Isched_deps.Access
+module Dep = Isched_deps.Dep
+module Ast = Isched_frontend.Ast
+module Parser = Isched_frontend.Parser
+
+let check = Alcotest.check
+
+let parse src = Parser.parse_loop src
+
+let expr_of src =
+  let l = parse (Printf.sprintf "DO I = 1, 2\n A[%s] = 1\nENDDO" src) in
+  match (List.hd l.Ast.body).Ast.lhs with
+  | Ast.Larr (_, e) -> e
+  | _ -> Alcotest.fail "expected array lhs"
+
+(* --- Affine --- *)
+
+let aff = Alcotest.testable Affine.pp Affine.equal
+
+let test_affine_basic () =
+  check Alcotest.(option aff) "I" (Some Affine.ivar) (Affine.of_expr (expr_of "I"));
+  check Alcotest.(option aff) "const" (Some (Affine.const 5)) (Affine.of_expr (expr_of "5"));
+  check
+    Alcotest.(option aff)
+    "I-2"
+    (Some { Affine.coef = 1; off = -2 })
+    (Affine.of_expr (expr_of "I-2"));
+  check
+    Alcotest.(option aff)
+    "2*I+1"
+    (Some { Affine.coef = 2; off = 1 })
+    (Affine.of_expr (expr_of "2*I+1"))
+
+let test_affine_normalization () =
+  check
+    Alcotest.(option aff)
+    "2*(I+1)-3"
+    (Some { Affine.coef = 2; off = -1 })
+    (Affine.of_expr (expr_of "2*(I+1)-3"));
+  check
+    Alcotest.(option aff)
+    "-(I-4)"
+    (Some { Affine.coef = -1; off = 4 })
+    (Affine.of_expr (expr_of "-(I-4)"));
+  check
+    Alcotest.(option aff)
+    "I+I"
+    (Some { Affine.coef = 2; off = 0 })
+    (Affine.of_expr (expr_of "I+I"));
+  check Alcotest.(option aff) "3-I" (Some { Affine.coef = -1; off = 3 }) (Affine.of_expr (expr_of "3-I"))
+
+let test_affine_rejections () =
+  check Alcotest.(option aff) "I*I" None (Affine.of_expr (expr_of "I*I"));
+  check Alcotest.(option aff) "scalar" None (Affine.of_expr (expr_of "K"));
+  check Alcotest.(option aff) "indirect" None (Affine.of_expr (expr_of "IDX[I]"));
+  check Alcotest.(option aff) "division" None (Affine.of_expr (expr_of "I/2"));
+  check Alcotest.(option aff) "non-integer" None (Affine.of_expr (expr_of "I+2.5"))
+
+let test_affine_eval_roundtrip () =
+  let a = { Affine.coef = 3; off = -7 } in
+  check Alcotest.int "eval" 8 (Affine.eval a 5);
+  check Alcotest.(option aff) "to_expr/of_expr" (Some a) (Affine.of_expr (Affine.to_expr a))
+
+(* --- Access --- *)
+
+let test_access_order () =
+  let l = parse "DO I = 1, 4\n IF (E[I] > 0) A[B[I]] = C[I-1] + D[I]\nENDDO" in
+  let accs = Access.of_loop l in
+  let names = List.map (fun (a : Access.t) -> (a.Access.target, a.Access.is_write)) accs in
+  (* guard read, lhs-subscript read, rhs reads left-to-right, write last *)
+  check
+    Alcotest.(list (pair string bool))
+    "evaluation order"
+    [ ("E", false); ("B", false); ("C", false); ("D", false); ("A", true) ]
+    names
+
+let test_access_inner_subscript_first () =
+  let l = parse "DO I = 1, 4\n X[I] = A[IDX[I]]\nENDDO" in
+  let accs = Access.of_loop l in
+  let names = List.map (fun (a : Access.t) -> a.Access.target) accs in
+  check Alcotest.(list string) "inner before outer" [ "IDX"; "A"; "X" ] names
+
+let test_access_scalars () =
+  let l = parse "DO I = 1, 4\n S = S + A[I]\nENDDO" in
+  let accs = Access.of_loop l in
+  check Alcotest.int "three accesses" 3 (List.length accs);
+  let w = List.filter (fun (a : Access.t) -> a.Access.is_write) accs in
+  check Alcotest.int "one write" 1 (List.length w);
+  Alcotest.(check bool) "scalar write" true (not (List.hd w).Access.is_array)
+
+(* --- Dep --- *)
+
+let deps_of src = Dep.analyze (parse src)
+let carried_of src = Dep.carried_deps (parse src)
+
+let dep_summary (d : Dep.t) =
+  ( Dep.kind_name d.Dep.kind,
+    d.Dep.src.Access.stmt + 1,
+    d.Dep.snk.Access.stmt + 1,
+    (match d.Dep.distance with Dep.Dist n -> n | Dep.Unknown -> -1) )
+
+let test_dep_fig1 () =
+  let ds =
+    carried_of
+      "DOACROSS I = 1, 100\n\
+      \ S1: B[I] = A[I-2] + E[I+1]\n\
+      \ S2: G[I-3] = A[I-1] * E[I+2]\n\
+      \ S3: A[I] = B[I] + C[I+3]\n\
+       ENDDO"
+  in
+  let show (k, s1, s2, d) = Printf.sprintf "%s S%d->S%d d=%d" k s1 s2 d in
+  check
+    Alcotest.(list string)
+    "two carried flow deps"
+    [ "flow S3->S1 d=2"; "flow S3->S2 d=1" ]
+    (List.map (fun d -> show (dep_summary d)) ds);
+  List.iter
+    (fun (d : Dep.t) ->
+      Alcotest.(check bool) "both LBD" true (d.Dep.lexical = Dep.LBD))
+    ds
+
+let test_dep_forward () =
+  let ds = carried_of "DO I = 1, 10\n S1: A[I] = E[I]\n S2: B[I] = A[I-1]\nENDDO" in
+  match ds with
+  | [ d ] ->
+    check Alcotest.string "flow" "flow" (Dep.kind_name d.Dep.kind);
+    Alcotest.(check bool) "LFD" true (d.Dep.lexical = Dep.LFD)
+  | _ -> Alcotest.fail "expected exactly one carried dep"
+
+let test_dep_self_is_lbd () =
+  let ds = carried_of "DO I = 1, 10\n A[I] = A[I-1] + 1\nENDDO" in
+  match ds with
+  | [ d ] ->
+    Alcotest.(check bool) "self dep is backward" true (d.Dep.lexical = Dep.LBD);
+    check Alcotest.int "distance 1" 1 (Dep.sync_distance d)
+  | _ -> Alcotest.fail "expected exactly one carried dep"
+
+let test_dep_anti () =
+  (* read A[I+1] before the write A[I+1] happens in the next iteration *)
+  let ds = carried_of "DO I = 1, 10\n S1: B[I] = A[I+1]\n S2: A[I] = E[I]\nENDDO" in
+  match List.map dep_summary ds with
+  | [ ("anti", 1, 2, 1) ] -> ()
+  | other ->
+    Alcotest.failf "expected one anti dep, got %s"
+      (String.concat ";"
+         (List.map (fun (k, s, t, d) -> Printf.sprintf "(%s,%d,%d,%d)" k s t d) other))
+
+let test_dep_output () =
+  let ds = carried_of "DO I = 1, 10\n S1: A[I] = E[I]\n S2: A[I-1] = C[I]\nENDDO" in
+  Alcotest.(check bool) "has output dep" true
+    (List.exists (fun (d : Dep.t) -> d.Dep.kind = Dep.Output) ds)
+
+let test_dep_distance_out_of_range () =
+  (* distance 50 exceeds the 10-iteration span: no dependence *)
+  let ds = carried_of "DO I = 1, 10\n A[I] = A[I-50]\nENDDO" in
+  check Alcotest.int "no carried dep" 0 (List.length ds)
+
+let test_dep_non_integral_distance () =
+  (* 2*I vs 2*I+1: different parity, never the same cell *)
+  let ds = carried_of "DO I = 1, 10\n A[2*I] = A[2*I+1]\nENDDO" in
+  check Alcotest.int "no dep between parities" 0 (List.length ds)
+
+let test_dep_coef2_distance () =
+  (* 2*I vs 2*I-4 touch the same cell 2 iterations apart *)
+  let ds = carried_of "DO I = 1, 10\n A[2*I] = A[2*I-4] + 1\nENDDO" in
+  match List.map dep_summary ds with
+  | [ ("flow", 1, 1, 2) ] -> ()
+  | _ -> Alcotest.fail "expected flow distance 2"
+
+let test_dep_unequal_coefs_enumerated () =
+  (* A[I] written, A[2*I] read: collisions at even I with varying
+     distance -> Unknown *)
+  let ds = carried_of "DO I = 1, 10\n S1: B[I] = A[2*I]\n S2: A[I] = E[I]\nENDDO" in
+  Alcotest.(check bool) "some carried dep" true (ds <> []);
+  Alcotest.(check bool) "distance unknown -> sync distance 1" true
+    (List.exists (fun d -> Dep.sync_distance d = 1 && d.Dep.distance = Dep.Unknown) ds)
+
+let test_dep_unequal_coefs_single_distance () =
+  (* A[I+5] written at iteration i collides with read A[2*I] at 2j=i+5:
+     enumeration finds varying distances j-i = 5-j... only some hits. *)
+  let ds = carried_of "DO I = 1, 4\n S1: A[I+3] = E[I]\n S2: B[I] = A[2*I] + 1\nENDDO" in
+  (* i+3 = 2j for i in 1..4: (i,j) = (1,2) d=1, (3,3) d=0 -> carried d=1
+     exists from S1 to S2. *)
+  Alcotest.(check bool) "enumeration finds the d=1 hit" true
+    (List.exists (fun d -> dep_summary d = ("flow", 1, 2, 1)) ds)
+
+let test_dep_constant_subscripts () =
+  let ds = carried_of "DO I = 1, 10\n A[5] = A[5] + E[I]\nENDDO" in
+  Alcotest.(check bool) "constant cell carries" true
+    (List.exists (fun (d : Dep.t) -> d.Dep.distance = Dep.Unknown) ds)
+
+let test_dep_scalar_carried () =
+  let ds = carried_of "DO I = 1, 10\n S = S + A[I]\nENDDO" in
+  Alcotest.(check bool) "scalar flow dep" true
+    (List.exists (fun (d : Dep.t) -> d.Dep.kind = Dep.Flow && not d.Dep.src.Access.is_array) ds)
+
+let test_dep_indirect_conservative () =
+  let ds = carried_of "DO I = 1, 10\n A[IDX[I]] = E[I]\nENDDO" in
+  Alcotest.(check bool) "indirect write carries output dep" true
+    (List.exists (fun (d : Dep.t) -> d.Dep.kind = Dep.Output && d.Dep.distance = Dep.Unknown) ds)
+
+let test_dep_loop_independent () =
+  let ds = deps_of "DO I = 1, 10\n S1: B[I] = E[I]\n S2: C[I] = B[I]\nENDDO" in
+  match ds with
+  | [ d ] ->
+    Alcotest.(check bool) "loop independent" true (not (Dep.carried d));
+    check Alcotest.int "distance 0" 0 (match d.Dep.distance with Dep.Dist n -> n | _ -> -1)
+  | _ -> Alcotest.fail "expected exactly one dep"
+
+let test_is_doall () =
+  Alcotest.(check bool) "independent loop" true
+    (Dep.is_doall (parse "DO I = 1, 10\n A[I] = E[I] + C[I-2]\nENDDO"));
+  Alcotest.(check bool) "recurrence is not doall" false
+    (Dep.is_doall (parse "DO I = 1, 10\n A[I] = A[I-1]\nENDDO"));
+  Alcotest.(check bool) "writes to distinct arrays" true
+    (Dep.is_doall (parse "DO I = 1, 10\n S1: A[I] = E[I]\n S2: B[I] = A[I]\nENDDO"))
+
+let test_dep_deterministic () =
+  let src = "DO I = 1, 10\n S1: A[I] = A[I-1] + B[I-2]\n S2: B[I] = A[I-3]\nENDDO" in
+  let d1 = List.map Dep.to_string (deps_of src) in
+  let d2 = List.map Dep.to_string (deps_of src) in
+  check Alcotest.(list string) "stable output" d1 d2
+
+let suite =
+  [
+    ("affine: basic forms", `Quick, test_affine_basic);
+    ("affine: normalization", `Quick, test_affine_normalization);
+    ("affine: rejected forms", `Quick, test_affine_rejections);
+    ("affine: eval and expr roundtrip", `Quick, test_affine_eval_roundtrip);
+    ("access: evaluation order", `Quick, test_access_order);
+    ("access: inner subscript reads first", `Quick, test_access_inner_subscript_first);
+    ("access: scalar reads and writes", `Quick, test_access_scalars);
+    ("dep: Fig. 1 dependences", `Quick, test_dep_fig1);
+    ("dep: lexically forward dep", `Quick, test_dep_forward);
+    ("dep: self dependence is LBD", `Quick, test_dep_self_is_lbd);
+    ("dep: anti dependence", `Quick, test_dep_anti);
+    ("dep: output dependence", `Quick, test_dep_output);
+    ("dep: distance beyond the iteration span", `Quick, test_dep_distance_out_of_range);
+    ("dep: non-integral distance", `Quick, test_dep_non_integral_distance);
+    ("dep: coefficient-2 distance", `Quick, test_dep_coef2_distance);
+    ("dep: unequal coefficients (unknown)", `Quick, test_dep_unequal_coefs_enumerated);
+    ("dep: unequal coefficients (enumerated hit)", `Quick, test_dep_unequal_coefs_single_distance);
+    ("dep: constant subscripts", `Quick, test_dep_constant_subscripts);
+    ("dep: scalar carried dep", `Quick, test_dep_scalar_carried);
+    ("dep: indirect subscripts are conservative", `Quick, test_dep_indirect_conservative);
+    ("dep: loop-independent dep", `Quick, test_dep_loop_independent);
+    ("dep: doall detection", `Quick, test_is_doall);
+    ("dep: deterministic order", `Quick, test_dep_deterministic);
+  ]

@@ -1,0 +1,222 @@
+(* Tests for the execution substrate: value semantics, shared memory,
+   the AST and three-address reference interpreters and the read log. *)
+
+module Semantics = Isched_exec.Semantics
+module Memory = Isched_exec.Memory
+module Ast_interp = Isched_exec.Ast_interp
+module Prog_interp = Isched_exec.Prog_interp
+module Readlog = Isched_exec.Readlog
+module Instr = Isched_ir.Instr
+module Parser = Isched_frontend.Parser
+
+let check = Alcotest.check
+let parse = Parser.parse_loop
+
+(* --- Semantics --- *)
+
+let test_semantics_arith () =
+  check (Alcotest.float 0.) "add" 5. (Semantics.binop Instr.FAdd 2. 3.);
+  check (Alcotest.float 0.) "sub" (-1.) (Semantics.binop Instr.Sub 2. 3.);
+  check (Alcotest.float 0.) "mul" 6. (Semantics.binop Instr.FMul 2. 3.);
+  check (Alcotest.float 0.) "div" 2.5 (Semantics.binop Instr.FDiv 5. 2.)
+
+let test_semantics_div_by_zero () =
+  check (Alcotest.float 0.) "x/0 = 0" 0. (Semantics.binop Instr.FDiv 5. 0.);
+  check (Alcotest.float 0.) "int div too" 0. (Semantics.binop Instr.Div 5. 0.)
+
+let test_semantics_shifts () =
+  check (Alcotest.float 0.) "3 << 2 = 12" 12. (Semantics.binop Instr.Shl 3. 2.);
+  check (Alcotest.float 0.) "-2 << 2 = -8" (-8.) (Semantics.binop Instr.Shl (-2.) 2.);
+  check (Alcotest.float 0.) "-8 >> 2 = -2" (-2.) (Semantics.binop Instr.Shr (-8.) 2.)
+
+let test_semantics_compare_select () =
+  check (Alcotest.float 0.) "lt true" 1. (Semantics.binop Instr.CmpLt 1. 2.);
+  check (Alcotest.float 0.) "ge false" 0. (Semantics.binop Instr.CmpGe 1. 2.);
+  check (Alcotest.float 0.) "select true" 7. (Semantics.select 1. 7. 9.);
+  check (Alcotest.float 0.) "select false" 9. (Semantics.select 0. 7. 9.)
+
+let test_semantics_to_int_clamps () =
+  check Alcotest.int "nan" 0 (Semantics.to_int Float.nan);
+  check Alcotest.int "inf" 0 (Semantics.to_int Float.infinity);
+  check Alcotest.int "huge" 0 (Semantics.to_int 1e300);
+  check Alcotest.int "normal" (-7) (Semantics.to_int (-7.))
+
+let test_semantics_init_values () =
+  Alcotest.(check bool) "deterministic" true
+    (Semantics.eq (Semantics.init_value "A" 5) (Semantics.init_value "A" 5));
+  Alcotest.(check bool) "never zero" true (Semantics.init_value "A" 3 <> 0.);
+  Alcotest.(check bool) "scalar deterministic" true
+    (Semantics.eq (Semantics.init_scalar "K") (Semantics.init_scalar "K"))
+
+let test_semantics_eq_nan () =
+  Alcotest.(check bool) "nan = nan bitwise" true (Semantics.eq Float.nan Float.nan);
+  Alcotest.(check bool) "1 <> 2" false (Semantics.eq 1. 2.)
+
+(* --- Memory --- *)
+
+let test_memory_defaults () =
+  let m = Memory.create () in
+  Alcotest.(check bool) "array default" true
+    (Semantics.eq (Memory.get m "A" 3) (Semantics.init_value "A" 3));
+  Alcotest.(check bool) "scalar default" true
+    (Semantics.eq (Memory.get_scalar m "K") (Semantics.init_scalar "K"))
+
+let test_memory_set_get () =
+  let m = Memory.create () in
+  Memory.set m "A" (-4) 2.5 (Memory.Written { iter = 1; instr = 0 });
+  check (Alcotest.float 0.) "negative index" 2.5 (Memory.get m "A" (-4));
+  check
+    (Alcotest.testable Memory.pp_tag ( = ))
+    "tag recorded"
+    (Memory.Written { iter = 1; instr = 0 })
+    (Memory.tag_of m "A" (-4));
+  check (Alcotest.testable Memory.pp_tag ( = )) "unwritten is initial" Memory.Initial
+    (Memory.tag_of m "A" 0)
+
+let test_memory_equal_diff () =
+  let a = Memory.create () and b = Memory.create () in
+  Alcotest.(check bool) "fresh equal" true (Memory.equal a b);
+  Memory.set a "A" 1 5. Memory.Initial;
+  Alcotest.(check bool) "diverged" false (Memory.equal a b);
+  Alcotest.(check bool) "diff mentions the cell" true
+    (match Memory.diff a b with [ d ] -> String.length d > 0 | _ -> false);
+  Memory.set b "A" 1 5. Memory.Initial;
+  Alcotest.(check bool) "equal again" true (Memory.equal a b)
+
+let test_memory_written_cells_sorted () =
+  let m = Memory.create () in
+  Memory.set m "B" 2 1. Memory.Initial;
+  Memory.set m "A" 9 1. Memory.Initial;
+  Memory.set m "A" 1 1. Memory.Initial;
+  check
+    Alcotest.(list (pair (pair string int) (float 0.)))
+    "sorted"
+    [ (("A", 1), 1.); (("A", 9), 1.); (("B", 2), 1.) ]
+    (Memory.written_cells m)
+
+(* --- interpreters --- *)
+
+let test_ast_interp_simple () =
+  let l = parse "DO I = 1, 3\n A[I] = I * 2\nENDDO" in
+  let m = Ast_interp.run l in
+  check (Alcotest.float 0.) "A[2]" 4. (Memory.get m "A" 2);
+  check (Alcotest.float 0.) "A[3]" 6. (Memory.get m "A" 3)
+
+let test_ast_interp_recurrence () =
+  let l = parse "DO I = 1, 4\n S1: K = 0 * K\n S2: A[I] = A[I-1] + 1\nENDDO" in
+  let m = Ast_interp.run l in
+  (* A[0] is the deterministic initial value; each iteration adds 1. *)
+  let a0 = Semantics.init_value "A" 0 in
+  check (Alcotest.float 0.) "A[4]" (a0 +. 4.) (Memory.get m "A" 4)
+
+let test_ast_interp_guard () =
+  let l = parse "DO I = 1, 4\n IF (I > 2) A[I] = 9\nENDDO" in
+  let m = Ast_interp.run l in
+  Alcotest.(check bool) "A[1] untouched" true
+    (Semantics.eq (Memory.get m "A" 1) (Semantics.init_value "A" 1));
+  check (Alcotest.float 0.) "A[3] written" 9. (Memory.get m "A" 3)
+
+let agree src =
+  let l = parse src in
+  let prog = Isched_codegen.Codegen.compile l in
+  let m_ast = Ast_interp.run l in
+  let m_tac = Prog_interp.run prog in
+  match Memory.diff m_ast m_tac with
+  | [] -> ()
+  | ds -> Alcotest.failf "AST and 3AC disagree on %s: %s" src (String.concat "; " ds)
+
+let test_interp_agreement_basic () = agree "DO I = 1, 10\n A[I] = E[I] * C[I-1] + 2\nENDDO"
+
+let test_interp_agreement_fig1 () =
+  agree
+    "DOACROSS I = 1, 100\n\
+    \ S1: B[I] = A[I-2] + E[I+1]\n\
+    \ S2: G[I-3] = A[I-1] * E[I+2]\n\
+    \ S3: A[I] = B[I] + C[I+3]\n\
+     ENDDO"
+
+let test_interp_agreement_guard () = agree "DO I = 1, 20\n IF (E[I] > 0) A[I] = A[I-1] / C[I]\nENDDO"
+let test_interp_agreement_scalar () = agree "DO I = 1, 15\n S1: S = S + E[I]\n S2: OUT[I] = S\nENDDO"
+let test_interp_agreement_indirect () = agree "DO I = 1, 10\n A[IDX[I]] = E[I] + 1\nENDDO"
+let test_interp_agreement_coef () = agree "DO I = 1, 10\n A[2*I+1] = A[2*I-1] * 1.5\nENDDO"
+
+let test_interp_agreement_corpus () =
+  (* the whole surrogate corpus, sequential AST vs sequential 3AC *)
+  List.iter
+    (fun (b : Isched_perfect.Suite.benchmark) ->
+      List.iter
+        (fun l ->
+          let prog = Isched_codegen.Codegen.compile l in
+          let m_ast = Ast_interp.run l in
+          let m_tac = Prog_interp.run prog in
+          if not (Memory.equal m_ast m_tac) then
+            Alcotest.failf "interpreters disagree on %s" l.Isched_frontend.Ast.name)
+        b.Isched_perfect.Suite.loops)
+    (Isched_perfect.Suite.all ())
+
+(* --- read log --- *)
+
+let test_readlog_roundtrip () =
+  let log = Readlog.create () in
+  let e = { Readlog.iter = 1; instr = 2; cell = "A"; index = Some 3; observed = Memory.Initial } in
+  Readlog.add log e;
+  check Alcotest.int "one entry" 1 (List.length (Readlog.to_list log))
+
+let test_readlog_compare () =
+  let reference = Readlog.create () and actual = Readlog.create () in
+  let mk observed = { Readlog.iter = 1; instr = 2; cell = "A"; index = Some 3; observed } in
+  Readlog.add reference (mk (Memory.Written { iter = 0; instr = 5 }));
+  Readlog.add actual (mk Memory.Initial);
+  (match Readlog.compare_logs ~reference ~actual with
+  | [ m ] ->
+    check (Alcotest.testable Memory.pp_tag ( = )) "expected tag" (Memory.Written { iter = 0; instr = 5 })
+      m.Readlog.expected
+  | _ -> Alcotest.fail "expected one mismatch");
+  (* identical logs: no mismatch *)
+  check Alcotest.int "self comparison clean" 0
+    (List.length (Readlog.compare_logs ~reference ~actual:reference))
+
+let test_prog_interp_logs_reads () =
+  let prog = Isched_codegen.Codegen.compile (parse "DO I = 1, 3\n A[I] = A[I-1] + E[I]\nENDDO") in
+  let log = Readlog.create () in
+  ignore (Prog_interp.run ~log prog);
+  (* two loads per iteration, three iterations *)
+  check Alcotest.int "six reads" 6 (List.length (Readlog.to_list log));
+  (* A[0] read in iteration 1 observes the initial value; A[1] read in
+     iteration 2 observes iteration 1's store *)
+  let entries = Readlog.to_list log in
+  Alcotest.(check bool) "initial observed" true
+    (List.exists (fun (e : Readlog.entry) -> e.Readlog.observed = Memory.Initial) entries);
+  Alcotest.(check bool) "cross-iteration write observed" true
+    (List.exists
+       (fun (e : Readlog.entry) ->
+         match e.Readlog.observed with Memory.Written { iter = 1; _ } -> e.Readlog.iter = 2 | _ -> false)
+       entries)
+
+let suite =
+  [
+    ("semantics: arithmetic", `Quick, test_semantics_arith);
+    ("semantics: total division", `Quick, test_semantics_div_by_zero);
+    ("semantics: shifts", `Quick, test_semantics_shifts);
+    ("semantics: compares and select", `Quick, test_semantics_compare_select);
+    ("semantics: integer clamping", `Quick, test_semantics_to_int_clamps);
+    ("semantics: initial values", `Quick, test_semantics_init_values);
+    ("semantics: bitwise equality", `Quick, test_semantics_eq_nan);
+    ("memory: deterministic defaults", `Quick, test_memory_defaults);
+    ("memory: set/get with tags", `Quick, test_memory_set_get);
+    ("memory: equality and diff", `Quick, test_memory_equal_diff);
+    ("memory: written cells sorted", `Quick, test_memory_written_cells_sorted);
+    ("ast interp: straight-line", `Quick, test_ast_interp_simple);
+    ("ast interp: recurrences", `Quick, test_ast_interp_recurrence);
+    ("ast interp: guards", `Quick, test_ast_interp_guard);
+    ("interp agreement: basic", `Quick, test_interp_agreement_basic);
+    ("interp agreement: Fig. 1", `Quick, test_interp_agreement_fig1);
+    ("interp agreement: guards", `Quick, test_interp_agreement_guard);
+    ("interp agreement: scalars", `Quick, test_interp_agreement_scalar);
+    ("interp agreement: indirect subscripts", `Quick, test_interp_agreement_indirect);
+    ("interp agreement: coefficient subscripts", `Quick, test_interp_agreement_coef);
+    ("interp agreement: whole corpus", `Slow, test_interp_agreement_corpus);
+    ("readlog: entries", `Quick, test_readlog_roundtrip);
+    ("readlog: mismatch detection", `Quick, test_readlog_compare);
+    ("prog interp: read provenance", `Quick, test_prog_interp_logs_reads);
+  ]

@@ -1,0 +1,167 @@
+(* Tests for the experiment harness: the Fig. 5 pipeline, the table
+   builders, the worked example, and the headline results' shape. *)
+
+module Pipeline = Isched_harness.Pipeline
+module Report = Isched_harness.Report
+module Worked_example = Isched_harness.Worked_example
+module Suite = Isched_perfect.Suite
+module Machine = Isched_ir.Machine
+module Table = Isched_util.Table
+
+let check = Alcotest.check
+
+let contains s affix =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+(* small corpora for fast table tests *)
+let small_benches () =
+  List.map
+    (fun p -> Suite.load { p with Isched_perfect.Profile.n_generated = 3 })
+    Isched_perfect.Profile.all
+
+let test_pipeline_prepare () =
+  let l = Isched_frontend.Parser.parse_loop "DOACROSS I = 1, 10\n A[I] = A[I-1]\nENDDO" in
+  (match Pipeline.prepare l with
+  | Pipeline.Doacross { prog; graph; _ } ->
+    check Alcotest.int "graph covers the program" (Array.length prog.Isched_ir.Program.body)
+      graph.Isched_dfg.Dfg.n
+  | Pipeline.Doall _ -> Alcotest.fail "recurrence is doacross");
+  let l2 = Isched_frontend.Parser.parse_loop "DO I = 1, 10\n S = S + E[I]\nENDDO" in
+  match Pipeline.prepare l2 with
+  | Pipeline.Doall _ -> ()
+  | Pipeline.Doacross _ -> Alcotest.fail "reduction should become doall"
+
+let test_pipeline_schedule_rejects_doall () =
+  let l = Isched_frontend.Parser.parse_loop "DO I = 1, 10\n S = S + E[I]\nENDDO" in
+  let p = Pipeline.prepare l in
+  Alcotest.(check bool) "raises on doall" true
+    (try
+       ignore (Pipeline.schedule p (Machine.make ~issue:4 ~nfu:1 ()) Pipeline.List_scheduling);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pipeline_loop_time_positive () =
+  let l = Isched_frontend.Parser.parse_loop "DOACROSS I = 1, 10\n A[I] = A[I-1]\nENDDO" in
+  let p = Pipeline.prepare l in
+  let t = Pipeline.loop_time p (Machine.make ~issue:4 ~nfu:1 ()) Pipeline.New_scheduling in
+  Alcotest.(check bool) "positive" true (t > 0)
+
+let test_table1_shape () =
+  let t = Report.table1 (small_benches ()) in
+  let s = Table.render t in
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " row present") true (contains s name))
+    [ "FLQ52"; "QCD"; "MDG"; "TRACK"; "ADM"; "TOTAL" ]
+
+let test_measure_and_tables () =
+  let benches = small_benches () in
+  let ms = Report.measure benches Machine.paper_configs in
+  check Alcotest.int "5 benchmarks x 4 configs" 20 (List.length ms);
+  List.iter
+    (fun (m : Report.measurement) ->
+      Alcotest.(check bool) "t_new <= t_list" true (m.Report.t_new <= m.Report.t_list);
+      Alcotest.(check bool) "positive times" true (m.Report.t_new > 0))
+    ms;
+  let s2 = Table.render (Report.table2 ms) in
+  Alcotest.(check bool) "table2 has totals" true (contains s2 "Total");
+  let s3 = Table.render (Report.table3 ms) in
+  Alcotest.(check bool) "table3 has percents" true (contains s3 "%")
+
+let test_improvement_metric () =
+  check (Alcotest.float 1e-9) "50%" 50. (Report.improvement ~t_list:200 ~t_new:100);
+  check (Alcotest.float 1e-9) "0%" 0. (Report.improvement ~t_list:100 ~t_new:100);
+  check (Alcotest.float 1e-9) "guard" 0. (Report.improvement ~t_list:0 ~t_new:0)
+
+let test_overall_shape () =
+  (* The headline numbers on the full corpora: both overall improvements
+     above 70%, like the paper's 83.4% / 85.1%. *)
+  let ms = Report.measure (Suite.all ()) Machine.paper_configs in
+  let two, four = Report.overall ms in
+  Alcotest.(check bool) "2-issue overall > 70%" true (two > 70.);
+  Alcotest.(check bool) "4-issue overall > 70%" true (four > 70.)
+
+let test_qcd_improves_least () =
+  let ms = Report.measure (Suite.all ()) [ ("4-issue(#FU=1)", Machine.make ~issue:4 ~nfu:1 ()) ] in
+  let impr name =
+    let m = List.find (fun (m : Report.measurement) -> m.Report.benchmark = name) ms in
+    Report.improvement ~t_list:m.Report.t_list ~t_new:m.Report.t_new
+  in
+  List.iter
+    (fun other ->
+      Alcotest.(check bool) (other ^ " beats QCD") true (impr other > impr "QCD"))
+    [ "FLQ52"; "MDG"; "TRACK"; "ADM" ]
+
+let test_categories_table () =
+  let s = Table.render (Report.categories (small_benches ())) in
+  Alcotest.(check bool) "has the six type names" true
+    (contains s "induction variable" && contains s "reduction operation" && contains s "others")
+
+let test_ablation_order () =
+  let s = Table.render (Report.ablation_order (small_benches ())) in
+  Alcotest.(check bool) "variants shown" true
+    (contains s "new unordered" && contains s "new ordered" && contains s "ordering gain")
+
+let test_ablation_elimination () =
+  let s = Table.render (Report.ablation_elimination (small_benches ())) in
+  Alcotest.(check bool) "elim columns" true (contains s "waits+elim" && contains s "new+elim")
+
+let test_ablation_migration () =
+  let s = Table.render (Report.ablation_migration (small_benches ())) in
+  Alcotest.(check bool) "migration columns" true (contains s "list+migr" && contains s "new+migr")
+
+let test_worked_example_report () =
+  let s = Worked_example.report () in
+  List.iter
+    (fun affix -> Alcotest.(check bool) (affix ^ " present") true (contains s affix))
+    [
+      "Fig. 1";
+      "Fig. 2";
+      "Fig. 3";
+      "Fig. 4";
+      "Wait_Signal(S3, I-2)";
+      "Send_Signal(S3)";
+      "Sigwat graph";
+      "Wat graph";
+      "synchronization path";
+      "list scheduling";
+      "new instruction scheduling";
+    ]
+
+let test_worked_example_times () =
+  (* The Fig. 4 comparison: list 1200 cycles, new under 500, matching
+     the paper's (12N)+13 versus (N/2)*span+13 relationship. *)
+  let s = Worked_example.report () in
+  Alcotest.(check bool) "list time" true (contains s "simulated 1200");
+  Alcotest.(check bool) "new time well under half" true (contains s "simulated 457")
+
+let test_options_respected () =
+  let l = Isched_frontend.Parser.parse_loop "DOACROSS I = 1, 50\n A[5] = A[5] + E[I]\nENDDO" in
+  let with_opts options =
+    match Pipeline.prepare ~options l with
+    | Pipeline.Doacross { prog; _ } -> Array.length prog.Isched_ir.Program.waits
+    | Pipeline.Doall _ -> -1
+  in
+  let base = with_opts Pipeline.default_options in
+  let elim = with_opts { Pipeline.default_options with Pipeline.eliminate = true } in
+  Alcotest.(check bool) "elimination drops pairs" true (elim < base)
+
+let suite =
+  [
+    ("pipeline: prepare splits doall/doacross", `Quick, test_pipeline_prepare);
+    ("pipeline: scheduling a doall is an error", `Quick, test_pipeline_schedule_rejects_doall);
+    ("pipeline: loop_time", `Quick, test_pipeline_loop_time_positive);
+    ("table1: all rows present", `Quick, test_table1_shape);
+    ("table2/3: measurements and rendering", `Quick, test_measure_and_tables);
+    ("table3: improvement metric", `Quick, test_improvement_metric);
+    ("headline: overall improvement above 70%", `Slow, test_overall_shape);
+    ("headline: QCD improves least", `Slow, test_qcd_improves_least);
+    ("categories table", `Quick, test_categories_table);
+    ("ablation A1 renders", `Quick, test_ablation_order);
+    ("ablation A2 renders", `Quick, test_ablation_elimination);
+    ("ablation A3 renders", `Quick, test_ablation_migration);
+    ("worked example: all figures present", `Quick, test_worked_example_report);
+    ("worked example: Fig. 4 times", `Quick, test_worked_example_times);
+    ("pipeline options: redundant-sync elimination", `Quick, test_options_respected);
+  ]

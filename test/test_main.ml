@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "isched"
+    [
+      ("util", Test_util.suite);
+      ("ir", Test_ir.suite);
+      ("frontend", Test_frontend.suite);
+      ("deps", Test_deps.suite);
+      ("transform", Test_transform.suite);
+      ("sync", Test_sync.suite);
+      ("codegen", Test_codegen.suite);
+      ("dfg", Test_dfg.suite);
+      ("sched", Test_scheduler.suite);
+      ("exec", Test_exec.suite);
+      ("sim", Test_sim.suite);
+      ("perfect", Test_perfect.suite);
+      ("harness", Test_harness.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,178 @@
+(* Tests for the Perfect-benchmark surrogate corpora: determinism,
+   well-formedness, and the structural properties Table 1 reports. *)
+
+module Profile = Isched_perfect.Profile
+module Genloop = Isched_perfect.Genloop
+module Suite = Isched_perfect.Suite
+module Ast = Isched_frontend.Ast
+module Dep = Isched_deps.Dep
+module Program = Isched_ir.Program
+
+let check = Alcotest.check
+
+let test_profiles_complete () =
+  check Alcotest.int "five benchmarks" 5 (List.length Profile.all);
+  check
+    Alcotest.(list string)
+    "paper column order"
+    [ "FLQ52"; "QCD"; "MDG"; "TRACK"; "ADM" ]
+    (List.map (fun p -> p.Profile.name) Profile.all)
+
+let test_generation_deterministic () =
+  List.iter
+    (fun p ->
+      let a = Genloop.generate p and b = Genloop.generate p in
+      check Alcotest.int (p.Profile.name ^ " same count") (List.length a) (List.length b);
+      List.iter2
+        (fun (la : Ast.loop) (lb : Ast.loop) ->
+          check Alcotest.string "identical loops" (Ast.loop_to_string la) (Ast.loop_to_string lb))
+        a b)
+    Profile.all
+
+let test_seed_changes_corpus () =
+  let p = Profile.flq52 in
+  let a = Genloop.generate p and b = Genloop.generate { p with Profile.seed = p.Profile.seed + 1 } in
+  Alcotest.(check bool) "different seed, different corpus" true
+    (List.exists2 (fun la lb -> Ast.loop_to_string la <> Ast.loop_to_string lb) a b)
+
+let test_all_loops_wellformed () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      List.iter
+        (fun l ->
+          match Isched_frontend.Sema.check l with
+          | [] -> ()
+          | errs ->
+            Alcotest.failf "%s: %s" l.Ast.name
+              (String.concat "; "
+                 (List.map (fun e -> Format.asprintf "%a" Isched_frontend.Sema.pp_error e) errs)))
+        b.Suite.loops)
+    (Suite.all ())
+
+let test_trip_counts () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      List.iter
+        (fun l -> check Alcotest.int (l.Ast.name ^ " trips") 100 (Ast.iterations l))
+        b.Suite.loops)
+    (Suite.all ())
+
+let test_signature_loops_parse () =
+  List.iter
+    (fun p ->
+      let loops = Isched_frontend.Parser.parse ~name:p.Profile.name (Suite.signature_sources p) in
+      Alcotest.(check bool) (p.Profile.name ^ " has signature loops") true (List.length loops >= 2))
+    Profile.all
+
+let lbd_mix (b : Suite.benchmark) =
+  List.fold_left
+    (fun (lfd, lbd) l ->
+      match Isched_harness.Pipeline.prepare l with
+      | Isched_harness.Pipeline.Doall _ -> (lfd, lbd)
+      | Isched_harness.Pipeline.Doacross { prog; _ } ->
+        (lfd + Program.n_lfd prog, lbd + Program.n_lbd prog))
+    (0, 0) b.Suite.loops
+
+let test_all_lbd_benchmarks () =
+  (* Table 1: FLQ52, QCD and TRACK are all LBD. *)
+  List.iter
+    (fun name ->
+      let b = Suite.load (List.find (fun p -> p.Profile.name = name) Profile.all) in
+      let lfd, lbd = lbd_mix b in
+      check Alcotest.int (name ^ " has no LFD") 0 lfd;
+      Alcotest.(check bool) (name ^ " has LBDs") true (lbd > 0))
+    [ "FLQ52"; "QCD"; "TRACK" ]
+
+let test_mixed_benchmarks () =
+  List.iter
+    (fun name ->
+      let b = Suite.load (List.find (fun p -> p.Profile.name = name) Profile.all) in
+      let lfd, lbd = lbd_mix b in
+      Alcotest.(check bool) (name ^ " has some LFD") true (lfd > 0);
+      Alcotest.(check bool) (name ^ " has LBDs") true (lbd > 0))
+    [ "MDG"; "ADM" ]
+
+let test_lbds_are_mostly_flow () =
+  (* "almost all LBDs are flow dependences" *)
+  let flow = ref 0 and total = ref 0 in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      List.iter
+        (fun l ->
+          match Isched_harness.Pipeline.prepare l with
+          | Isched_harness.Pipeline.Doall _ -> ()
+          | Isched_harness.Pipeline.Doacross { prog; _ } ->
+            Array.iter
+              (fun (w : Program.wait_info) ->
+                if w.Program.lexical = Program.LBD then begin
+                  incr total;
+                  if w.Program.kind = Program.Flow then incr flow
+                end)
+              prog.Program.waits)
+        b.Suite.loops)
+    (Suite.all ());
+  Alcotest.(check bool) "mostly flow" true (!flow * 10 >= !total * 8)
+
+let test_doall_fractions () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let doall =
+        List.length
+          (List.filter
+             (fun l ->
+               match Isched_harness.Pipeline.prepare l with
+               | Isched_harness.Pipeline.Doall _ -> true
+               | _ -> false)
+             b.Suite.loops)
+      in
+      let total = List.length b.Suite.loops in
+      Alcotest.(check bool)
+        (b.Suite.profile.Profile.name ^ " mostly doacross")
+        true
+        (doall * 2 < total))
+    (Suite.all ())
+
+let test_qcd_bodies_small () =
+  (* QCD's defining trait: tight bodies, whole-body sync paths. *)
+  let qcd = Suite.load Profile.qcd in
+  let sizes =
+    List.filter_map
+      (fun l ->
+        match Isched_harness.Pipeline.prepare l with
+        | Isched_harness.Pipeline.Doall _ -> None
+        | Isched_harness.Pipeline.Doacross { prog; _ } -> Some (Array.length prog.Program.body))
+      qcd.Suite.loops
+  in
+  let avg = List.fold_left ( + ) 0 sizes / max 1 (List.length sizes) in
+  Alcotest.(check bool) "average body under 20 instructions" true (avg < 20)
+
+let test_category_coverage () =
+  (* Across the whole suite, at least four of the six DOACROSS types are
+     represented. *)
+  let module Doall = Isched_transform.Doall in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      List.iter
+        (fun l ->
+          if not (Dep.is_doall (Isched_transform.Restructure.run l).Isched_transform.Restructure.loop)
+          then Hashtbl.replace seen (Doall.categorize l) ())
+        b.Suite.loops)
+    (Suite.all ());
+  Alcotest.(check bool) "at least 4 categories" true (Hashtbl.length seen >= 4)
+
+let suite =
+  [
+    ("profiles: five, in paper order", `Quick, test_profiles_complete);
+    ("generation: byte-identical reruns", `Quick, test_generation_deterministic);
+    ("generation: seed sensitivity", `Quick, test_seed_changes_corpus);
+    ("corpora: every loop is well-formed", `Quick, test_all_loops_wellformed);
+    ("corpora: 100 iterations everywhere", `Quick, test_trip_counts);
+    ("corpora: signature loops parse", `Quick, test_signature_loops_parse);
+    ("table1: FLQ52, QCD, TRACK are all LBD", `Quick, test_all_lbd_benchmarks);
+    ("table1: MDG and ADM are mixed", `Quick, test_mixed_benchmarks);
+    ("table1: LBDs are mostly flow deps", `Quick, test_lbds_are_mostly_flow);
+    ("corpora: doall loops are the minority", `Quick, test_doall_fractions);
+    ("qcd: tight bodies", `Quick, test_qcd_bodies_small);
+    ("corpora: DOACROSS category coverage", `Quick, test_category_coverage);
+  ]

@@ -1,0 +1,190 @@
+(* Tests for synchronization insertion, redundant-sync elimination and
+   statement migration. *)
+
+module Plan = Isched_sync.Plan
+module Migrate = Isched_sync.Migrate
+module Dep = Isched_deps.Dep
+module Ast = Isched_frontend.Ast
+module Parser = Isched_frontend.Parser
+
+let check = Alcotest.check
+let parse = Parser.parse_loop
+
+let fig1 =
+  "DOACROSS I = 1, 100\n\
+  \ S1: B[I] = A[I-2] + E[I+1]\n\
+  \ S2: G[I-3] = A[I-1] * E[I+2]\n\
+  \ S3: A[I] = B[I] + C[I+3]\n\
+   ENDDO"
+
+(* --- Plan --- *)
+
+let test_plan_fig1 () =
+  let plan = Plan.build (parse fig1) in
+  check Alcotest.int "one signal" 1 (Array.length plan.Plan.signals);
+  check Alcotest.int "two pairs" 2 (Array.length plan.Plan.pairs);
+  check Alcotest.string "signal labelled S3" "S3" plan.Plan.signals.(0).Plan.label;
+  check Alcotest.(list int) "distances" [ 2; 1 ]
+    (Array.to_list (Array.map (fun p -> p.Plan.distance) plan.Plan.pairs));
+  check Alcotest.int "no LFD" 0 (Plan.n_lfd plan);
+  check Alcotest.int "two LBD" 2 (Plan.n_lbd plan)
+
+let test_plan_shared_signal () =
+  (* Both waits reference the same signal: one send serves both, as in
+     Fig. 1(b). *)
+  let plan = Plan.build (parse fig1) in
+  Array.iter
+    (fun (p : Plan.pair) -> check Alcotest.int "same signal" 0 p.Plan.signal)
+    plan.Plan.pairs
+
+let test_plan_annotated_output () =
+  let l = parse fig1 in
+  let plan = Plan.build l in
+  let s = Format.asprintf "%a" (fun ppf () -> Plan.pp_annotated ppf l plan) () in
+  let has affix =
+    let n = String.length s and m = String.length affix in
+    let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "wait d=2" true (has "Wait_Signal(S3, I-2)");
+  Alcotest.(check bool) "wait d=1" true (has "Wait_Signal(S3, I-1)");
+  Alcotest.(check bool) "send" true (has "Send_Signal(S3)");
+  (* The d=2 wait is printed before S1, the send after S3. *)
+  let pos affix =
+    let n = String.length s and m = String.length affix in
+    let rec go i = if i + m > n then -1 else if String.sub s i m = affix then i else go (i + 1) in
+    go 0
+  in
+  Alcotest.(check bool) "wait before its sink statement" true
+    (pos "Wait_Signal(S3, I-2)" < pos "B[I]");
+  Alcotest.(check bool) "send after its source statement" true (pos "Send_Signal(S3)" > pos "A[I] =")
+
+let test_plan_unknown_distance_pinned () =
+  let plan = Plan.build (parse "DOACROSS I = 1, 10\n A[IDX[I]] = A[IDX[I+1]] + 1\nENDDO") in
+  Array.iter
+    (fun (p : Plan.pair) -> check Alcotest.int "distance pinned to 1" 1 p.Plan.distance)
+    plan.Plan.pairs
+
+let test_plan_of_deps_subset () =
+  let l = parse fig1 in
+  let deps = Dep.carried_deps l in
+  let one = [ List.hd deps ] in
+  let plan = Plan.of_deps l one in
+  check Alcotest.int "single pair" 1 (Array.length plan.Plan.pairs)
+
+(* --- redundant-sync elimination (instruction-level, Isched_dfg.Reduce) --- *)
+
+let compile ?eliminate src = Isched_codegen.Codegen.compile ?eliminate (parse src)
+
+let n_waits (p : Isched_ir.Program.t) = Array.length p.Isched_ir.Program.waits
+
+let test_eliminate_constant_cell () =
+  (* A[5] accumulation: flow, anti and output dependences all at
+     distance 1.  The flow wait's sink (the load) reaches both the other
+     sinks through data arcs, so the anti and output waits are provably
+     covered. *)
+  let src = "DOACROSS I = 1, 50\n A[5] = A[5] + E[I]\nENDDO" in
+  let full = compile src in
+  let reduced = compile ~eliminate:true src in
+  Alcotest.(check bool) "several waits initially" true (n_waits full >= 3);
+  check Alcotest.int "one wait remains" 1 (n_waits reduced);
+  Isched_ir.Program.validate reduced
+
+let test_eliminate_keeps_fig1 () =
+  let full = compile fig1 in
+  let reduced = compile ~eliminate:true fig1 in
+  check Alcotest.int "nothing redundant in Fig. 1" (n_waits full) (n_waits reduced)
+
+let test_eliminate_statement_level_rule_rejected () =
+  (* The statement-level Midkiff-Padua rule would drop the d=2 pair here
+     (covered by the d=1 chain through textual order), but instruction
+     scheduling can hoist the A[I-2] load above S2's wait, so the
+     instruction-level test must keep it. *)
+  let src =
+    "DOACROSS I = 1, 50\n S1: A[I] = E[I]\n S2: B[I] = A[I-1]\n S3: C2[I] = B[I-1] + A[I-2]\nENDDO"
+  in
+  let full = compile src in
+  let reduced = compile ~eliminate:true src in
+  check Alcotest.int "all pairs kept" (n_waits full) (n_waits reduced)
+
+let test_eliminate_redundant_waits_direct () =
+  let p = compile "DOACROSS I = 1, 50\n A[5] = A[5] + E[I]\nENDDO" in
+  let g = Isched_dfg.Dfg.build p in
+  let redundant = Isched_dfg.Reduce.redundant_waits g in
+  check Alcotest.int "two of three waits covered" 2 (List.length redundant)
+
+let test_eliminate_sound_on_fig1_values () =
+  let p = compile ~eliminate:true fig1 in
+  let g = Isched_dfg.Dfg.build p in
+  let m = Isched_ir.Machine.make ~issue:4 ~nfu:1 () in
+  List.iter
+    (fun s ->
+      match Isched_harness.Equivalence.check_schedule p s with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "unsound: %s" (String.concat "; " es))
+    [ Isched_core.List_sched.run g m; Isched_core.Sync_sched.run g m ]
+
+(* --- Migrate --- *)
+
+let test_migrate_converts_lbd () =
+  (* The source statement can legally hoist above the sink. *)
+  let l = parse "DOACROSS I = 1, 50\n S1: B[I] = A[I-1]\n S2: A[I] = E[I]\nENDDO" in
+  let l' = Migrate.reorder l in
+  let labels = List.map (fun (s : Ast.stmt) -> s.Ast.label) l'.Ast.body in
+  check Alcotest.(list string) "source hoisted" [ "S2"; "S1" ] labels;
+  let deps = Dep.carried_deps l' in
+  Alcotest.(check bool) "now lexically forward" true
+    (List.for_all (fun (d : Dep.t) -> d.Dep.lexical = Dep.LFD) deps)
+
+let test_migrate_respects_program_order () =
+  (* S2 uses B[I] written by S1: the pair cannot be swapped even though
+     doing so would convert the LBD on A. *)
+  let l = parse "DOACROSS I = 1, 50\n S1: B[I] = A[I-1]\n S2: A[I] = B[I] + E[I]\nENDDO" in
+  let l' = Migrate.reorder l in
+  let labels = List.map (fun (s : Ast.stmt) -> s.Ast.label) l'.Ast.body in
+  check Alcotest.(list string) "order kept" [ "S1"; "S2" ] labels
+
+let test_migrate_preserves_semantics () =
+  let src =
+    "DOACROSS I = 1, 30\n\
+    \ S1: B[I] = A[I-1]\n\
+    \ S2: H[I] = E[I] * C[I]\n\
+    \ S3: A[I] = E[I] + C[I+1]\n\
+     ENDDO"
+  in
+  let l = parse src in
+  let l' = Migrate.reorder l in
+  let m1 = Isched_exec.Ast_interp.run l in
+  let m2 = Isched_exec.Ast_interp.run l' in
+  Alcotest.(check bool) "same final memory" true (Isched_exec.Memory.equal m1 m2)
+
+let migrate_random_legal =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"migrate: reordering preserves semantics on generated loops"
+       QCheck2.Gen.(int_range 0 100000)
+       (fun seed ->
+         let profile = { Isched_perfect.Profile.track with seed; n_generated = 1; n_iters = 10 } in
+         match Isched_perfect.Genloop.generate profile with
+         | [ l ] ->
+           let l = { l with Ast.hi = l.Ast.lo + 9 } in
+           let l' = Migrate.reorder l in
+           Isched_exec.Memory.equal (Isched_exec.Ast_interp.run l) (Isched_exec.Ast_interp.run l')
+         | _ -> false))
+
+let suite =
+  [
+    ("plan: Fig. 1 pairs and signal", `Quick, test_plan_fig1);
+    ("plan: one send serves both waits", `Quick, test_plan_shared_signal);
+    ("plan: annotated source (Fig. 1b)", `Quick, test_plan_annotated_output);
+    ("plan: unknown distances pinned to 1", `Quick, test_plan_unknown_distance_pinned);
+    ("plan: of_deps respects the subset", `Quick, test_plan_of_deps_subset);
+    ("eliminate: constant-cell accumulation", `Quick, test_eliminate_constant_cell);
+    ("eliminate: Fig. 1 keeps both pairs", `Quick, test_eliminate_keeps_fig1);
+    ("eliminate: statement-level rule is rejected", `Quick, test_eliminate_statement_level_rule_rejected);
+    ("eliminate: redundant_waits directly", `Quick, test_eliminate_redundant_waits_direct);
+    ("eliminate: values preserved", `Quick, test_eliminate_sound_on_fig1_values);
+    ("migrate: converts LBD to LFD when legal", `Quick, test_migrate_converts_lbd);
+    ("migrate: never breaks intra-iteration deps", `Quick, test_migrate_respects_program_order);
+    ("migrate: semantics preserved", `Quick, test_migrate_preserves_semantics);
+    migrate_random_legal;
+  ]

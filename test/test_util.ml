@@ -1,0 +1,300 @@
+(* Unit and property tests for Isched_util. *)
+
+module Prng = Isched_util.Prng
+module Union_find = Isched_util.Union_find
+module Pqueue = Isched_util.Pqueue
+module Vec = Isched_util.Vec
+module Table = Isched_util.Table
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+(* Local substring check to avoid extra dependencies. *)
+let contains s affix =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.bits64 a) (Prng.bits64 b) then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_prng_split_independent () =
+  let parent = Prng.create 7 in
+  let child = Prng.split parent in
+  (* Consuming the child must not change the parent's continuation. *)
+  let parent' = Prng.copy parent in
+  for _ = 1 to 10 do
+    ignore (Prng.bits64 child)
+  done;
+  check Alcotest.int64 "parent unaffected" (Prng.bits64 parent') (Prng.bits64 parent)
+
+let test_prng_int_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_prng_int_in_bounds () =
+  let rng = Prng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-3) 5 in
+    Alcotest.(check bool) "in [-3,5]" true (v >= -3 && v <= 5)
+  done
+
+let test_prng_int_invalid () =
+  let rng = Prng.create 5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_prng_float_range () =
+  let rng = Prng.create 6 in
+  for _ = 1 to 1000 do
+    let f = Prng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_prng_bool_extremes () =
+  let rng = Prng.create 8 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Prng.bool rng 0.);
+    Alcotest.(check bool) "p=1 always" true (Prng.bool rng 1.)
+  done
+
+let test_prng_weighted () =
+  let rng = Prng.create 9 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 2000 do
+    let v = Prng.weighted rng [ (0.9, "a"); (0.1, "b") ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let a = Option.value ~default:0 (Hashtbl.find_opt counts "a") in
+  Alcotest.(check bool) "weights respected" true (a > 1500)
+
+let test_prng_weighted_invalid () =
+  let rng = Prng.create 10 in
+  Alcotest.check_raises "zero weights"
+    (Invalid_argument "Prng.weighted: weights must sum to > 0") (fun () ->
+      ignore (Prng.weighted rng [ (0., "a") ]))
+
+let test_prng_choose () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 100 do
+    let v = Prng.choose rng [| 1; 2; 3 |] in
+    Alcotest.(check bool) "member" true (List.mem v [ 1; 2; 3 ])
+  done
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 12 in
+  let arr = Array.init 20 (fun i -> i) in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+(* --- Union_find --- *)
+
+let test_uf_singletons () =
+  let uf = Union_find.create 4 in
+  Alcotest.(check bool) "initially apart" false (Union_find.same uf 0 1);
+  check Alcotest.int "4 groups" 4 (List.length (Union_find.groups uf))
+
+let test_uf_union () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 1 2);
+  Alcotest.(check bool) "0~3" true (Union_find.same uf 0 3);
+  Alcotest.(check bool) "0!~4" false (Union_find.same uf 0 4);
+  check Alcotest.int "3 groups" 3 (List.length (Union_find.groups uf))
+
+let test_uf_groups_sorted () =
+  let uf = Union_find.create 5 in
+  ignore (Union_find.union uf 4 1);
+  let groups = Union_find.groups uf in
+  List.iter
+    (fun (_, members) ->
+      Alcotest.(check bool) "members ascending" true (List.sort compare members = members))
+    groups
+
+let uf_transitive =
+  qtest "union-find: transitivity on random unions"
+    QCheck2.(
+      Gen.(list_size (int_bound 30) (pair (int_bound 19) (int_bound 19))))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      (* same is an equivalence relation consistent with groups *)
+      let groups = Union_find.groups uf in
+      List.for_all
+        (fun (_, members) ->
+          List.for_all (fun x -> List.for_all (fun y -> Union_find.same uf x y) members) members)
+        groups)
+
+(* --- Pqueue --- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~prio:1 ~tie:0 "low";
+  Pqueue.push q ~prio:9 ~tie:0 "high";
+  Pqueue.push q ~prio:5 ~tie:0 "mid";
+  check Alcotest.string "high first" "high" (Pqueue.pop q);
+  check Alcotest.string "mid second" "mid" (Pqueue.pop q);
+  check Alcotest.string "low last" "low" (Pqueue.pop q)
+
+let test_pqueue_tie_break () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~prio:5 ~tie:2 "second";
+  Pqueue.push q ~prio:5 ~tie:1 "first";
+  check Alcotest.string "smaller tie first" "first" (Pqueue.pop q);
+  check Alcotest.string "then larger tie" "second" (Pqueue.pop q)
+
+let test_pqueue_empty () =
+  let q : int Pqueue.t = Pqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.check_raises "pop raises" Not_found (fun () -> ignore (Pqueue.pop q))
+
+let test_pqueue_peek () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~prio:1 ~tie:0 10;
+  Pqueue.push q ~prio:2 ~tie:0 20;
+  check Alcotest.int "peek max" 20 (Pqueue.peek q);
+  check Alcotest.int "peek does not remove" 2 (Pqueue.length q)
+
+let test_pqueue_to_list () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.push q ~prio:p ~tie:v v) [ (3, 1); (1, 2); (2, 3) ];
+  check Alcotest.(list int) "pop order" [ 1; 3; 2 ] (Pqueue.to_list q);
+  check Alcotest.int "unchanged" 3 (Pqueue.length q)
+
+let pqueue_sorts =
+  qtest "pqueue: pops in non-increasing priority order"
+    QCheck2.Gen.(list_size (int_bound 60) (int_range (-50) 50))
+    (fun prios ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q ~prio:p ~tie:i p) prios;
+      let out = ref [] in
+      while not (Pqueue.is_empty q) do
+        out := Pqueue.pop q :: !out
+      done;
+      (* pops are non-increasing, so the accumulated list is ascending *)
+      !out = List.sort compare prios && List.length prios = List.length !out)
+
+(* --- Vec --- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  check Alcotest.int "get 7" 49 (Vec.get v 7);
+  check Alcotest.int "last" (99 * 99) (Vec.last v)
+
+let test_vec_bounds () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get") (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set") (fun () -> Vec.set v 5 0)
+
+let test_vec_roundtrip () =
+  let xs = [ 1; 2; 3; 4 ] in
+  check Alcotest.(list int) "of_list/to_list" xs (Vec.to_list (Vec.of_list xs));
+  check Alcotest.(array int) "to_array" [| 1; 2; 3; 4 |] (Vec.to_array (Vec.of_list xs))
+
+let test_vec_clear () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Vec.clear v;
+  check Alcotest.int "empty after clear" 0 (Vec.length v);
+  Alcotest.check_raises "last raises" Not_found (fun () -> ignore (Vec.last v))
+
+let test_vec_iteri () =
+  let v = Vec.of_list [ 10; 20; 30 ] in
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check
+    Alcotest.(list (pair int int))
+    "indices in order"
+    [ (0, 10); (1, 20); (2, 30) ]
+    (List.rev !acc)
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ ("name", Table.Left); ("n", Table.Right) ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "total"; "1" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (contains s "demo");
+  Alcotest.(check bool) "has cell" true (contains s "total")
+
+let test_table_arity () =
+  let t = Table.create ~title:"" ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Table.add_row: expected 1 cells, got 2")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_table_formats () =
+  check Alcotest.string "int" "42" (Table.fmt_int 42);
+  check Alcotest.string "float" "3.14" (Table.fmt_float 3.14159);
+  check Alcotest.string "pct" "87.36%" (Table.fmt_pct 87.3611);
+  check Alcotest.string "pct decimals" "87.4%" (Table.fmt_pct ~decimals:1 87.3611)
+
+let test_table_alignment_width () =
+  let t = Table.create ~title:"" ~columns:[ ("col", Table.Right) ] in
+  Table.add_row t [ "7" ];
+  Table.add_row t [ "12345" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  Alcotest.(check bool) "all lines same width" true
+    (match widths with [] -> false | w :: ws -> List.for_all (( = ) w) ws)
+
+let suite =
+  [
+    ("prng: deterministic", `Quick, test_prng_deterministic);
+    ("prng: seed sensitivity", `Quick, test_prng_seed_sensitivity);
+    ("prng: split independence", `Quick, test_prng_split_independent);
+    ("prng: int bounds", `Quick, test_prng_int_bounds);
+    ("prng: int_in bounds", `Quick, test_prng_int_in_bounds);
+    ("prng: int invalid bound", `Quick, test_prng_int_invalid);
+    ("prng: float range", `Quick, test_prng_float_range);
+    ("prng: bool extremes", `Quick, test_prng_bool_extremes);
+    ("prng: weighted distribution", `Quick, test_prng_weighted);
+    ("prng: weighted invalid", `Quick, test_prng_weighted_invalid);
+    ("prng: choose membership", `Quick, test_prng_choose);
+    ("prng: shuffle is a permutation", `Quick, test_prng_shuffle_permutation);
+    ("union-find: singletons", `Quick, test_uf_singletons);
+    ("union-find: unions merge", `Quick, test_uf_union);
+    ("union-find: groups sorted", `Quick, test_uf_groups_sorted);
+    uf_transitive;
+    ("pqueue: priority order", `Quick, test_pqueue_order);
+    ("pqueue: deterministic tie-break", `Quick, test_pqueue_tie_break);
+    ("pqueue: empty behaviour", `Quick, test_pqueue_empty);
+    ("pqueue: peek", `Quick, test_pqueue_peek);
+    ("pqueue: to_list preserves queue", `Quick, test_pqueue_to_list);
+    pqueue_sorts;
+    ("vec: push/get/last", `Quick, test_vec_push_get);
+    ("vec: bounds checking", `Quick, test_vec_bounds);
+    ("vec: list/array roundtrip", `Quick, test_vec_roundtrip);
+    ("vec: clear", `Quick, test_vec_clear);
+    ("vec: iteri order", `Quick, test_vec_iteri);
+    ("table: render contains content", `Quick, test_table_render);
+    ("table: arity check", `Quick, test_table_arity);
+    ("table: cell formatting", `Quick, test_table_formats);
+    ("table: uniform line width", `Quick, test_table_alignment_width);
+  ]
