@@ -3,16 +3,65 @@
    ablations of DESIGN.md, and Bechamel micro-benchmarks of the pipeline
    stages.
 
-   Run with:  dune exec bench/main.exe *)
+   Run with:  dune exec bench/main.exe -- [--jobs N] [--smoke] [--out FILE]
+
+   --jobs N   fan the (benchmark x config) cells over N domains
+   --smoke    reduced corpus (1 benchmark, 2 configs, tables only)
+   --out FILE where to write the machine-readable perf record
+              (default BENCH_results.json; runs append, so a --jobs 1
+              and a --jobs 8 run side by side show the speedup) *)
 
 module Report = Isched_harness.Report
 module Suite = Isched_perfect.Suite
 module Machine = Isched_ir.Machine
 module Table = Isched_util.Table
+module Pool = Isched_util.Pool
 
 let line = String.make 78 '='
 
 let section title = Printf.printf "\n%s\n== %s\n%s\n\n" line title line
+
+(* --- command line --- *)
+
+type cli = { mutable jobs : int; mutable smoke : bool; mutable out : string }
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--jobs N] [--smoke] [--out FILE]\n\
+    \  --jobs N   width of the domain pool (default 1 = sequential)\n\
+    \  --smoke    reduced run: 1 benchmark, 2 configs, tables only\n\
+    \  --out FILE perf record path (default BENCH_results.json)";
+  exit 2
+
+let parse_cli () =
+  let cli = { jobs = 1; smoke = false; out = "BENCH_results.json" } in
+  let rec go = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      cli.smoke <- true;
+      go rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with Some j when j >= 1 -> cli.jobs <- j | _ -> usage ());
+      go rest
+    | "--out" :: path :: rest ->
+      cli.out <- path;
+      go rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> go ("--jobs" :: String.sub arg 7 (String.length arg - 7) :: rest)
+    | arg :: rest when String.length arg > 6 && String.sub arg 0 6 = "--out=" -> go ("--out" :: String.sub arg 6 (String.length arg - 6) :: rest)
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  cli
+
+(* --- stage timing --- *)
+
+let stage_times : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  stage_times := !stage_times @ [ (name, Unix.gettimeofday () -. t0) ];
+  r
 
 (* --- figures --- *)
 
@@ -22,13 +71,13 @@ let fig_1_to_4 () =
 
 (* --- tables --- *)
 
-let tables benches =
+let tables benches configs =
   section "Table 1 - characteristics of the benchmark corpora";
   Table.print (Report.table1 benches);
   print_endline
     "(Perfect surrogates: deterministic corpora matching the paper's structural statistics;\n\
      FLQ52, QCD and TRACK all-LBD, MDG and ADM mixed, LBDs almost all flow dependences.)";
-  let ms = Report.measure benches Machine.paper_configs in
+  let ms = Report.measure benches configs in
   section "Table 2 - total parallel execution time (100 iterations per loop)";
   Table.print (Report.table2 ms);
   section "Table 3 - improved percentage of parallel execution time";
@@ -39,7 +88,8 @@ let tables benches =
      (the paper reports about 83.37%% and 85.1%%).\n"
     two four;
   section "DOACROSS loop categories (Chen & Yew's six types, Section 4.1)";
-  Table.print (Report.categories benches)
+  Table.print (Report.categories benches);
+  ms
 
 let ablations benches =
   section "Ablation A1 - damage ordering of synchronization paths";
@@ -136,12 +186,133 @@ let artifacts () =
   write "fig4-new-wavefront.svg" (Isched_sim.Viz.wavefront_svg ~max_iters:20 s_new);
   write "fig4-new-schedule.svg" (Isched_sim.Viz.schedule_svg s_new)
 
+(* --- machine-readable perf record --- *)
+
+let git_rev () =
+  let read path =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (String.trim (really_input_string ic (in_channel_length ic))))
+    with Sys_error _ | End_of_file -> None
+  in
+  match read ".git/HEAD" with
+  | None -> "unknown"
+  | Some head when String.length head >= 5 && String.sub head 0 5 = "ref: " -> (
+    let r = String.trim (String.sub head 5 (String.length head - 5)) in
+    match read (Filename.concat ".git" r) with
+    | Some rev -> rev
+    | None -> (
+      (* The ref may live in packed-refs: "<rev> <refname>" lines. *)
+      match read ".git/packed-refs" with
+      | None -> "unknown"
+      | Some packed ->
+        String.split_on_char '\n' packed
+        |> List.find_map (fun l ->
+               match String.index_opt l ' ' with
+               | Some i when String.sub l (i + 1) (String.length l - i - 1) = r ->
+                 Some (String.sub l 0 i)
+               | _ -> None)
+        |> Option.value ~default:"unknown"))
+  | Some head -> head
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* The record keeps every run: {"runs": [ ... ]}.  Appending re-reads
+   the previous file and splices its run objects back verbatim (we only
+   ever parse our own output), so a --jobs 1 run and a --jobs 8 run can
+   sit side by side and document the speedup. *)
+let previous_runs path =
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match (String.index_opt s '[', String.rindex_opt s ']') with
+      | Some i, Some j when j > i ->
+        let inner = String.trim (String.sub s (i + 1) (j - i - 1)) in
+        if inner = "" then None else Some inner
+      | _ -> None
+    with Sys_error _ | End_of_file -> None
+
+let emit_record ~path ~cli ~total (ms : Report.measurement list) =
+  let b = Buffer.create 1024 in
+  let configs =
+    List.fold_left (fun acc m -> if List.mem m.Report.config acc then acc else acc @ [ m.Report.config ]) [] ms
+  in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "      \"git_rev\": \"%s\",\n" (json_escape (git_rev ())));
+  Buffer.add_string b (Printf.sprintf "      \"unix_time\": %.0f,\n" (Unix.time ()));
+  Buffer.add_string b (Printf.sprintf "      \"jobs\": %d,\n" cli.jobs);
+  Buffer.add_string b (Printf.sprintf "      \"smoke\": %b,\n" cli.smoke);
+  Buffer.add_string b (Printf.sprintf "      \"wall_clock_seconds\": %.3f,\n" total);
+  let hits, misses = Isched_harness.Pipeline.memo_stats () in
+  Buffer.add_string b
+    (Printf.sprintf "      \"prepare_memo\": { \"hits\": %d, \"misses\": %d },\n" hits misses);
+  Buffer.add_string b "      \"stage_seconds\": {";
+  List.iteri
+    (fun i (name, s) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s \"%s\": %.3f" (if i = 0 then "" else ",") (json_escape name) s))
+    !stage_times;
+  Buffer.add_string b " },\n";
+  Buffer.add_string b "      \"table_totals\": {";
+  List.iteri
+    (fun i c ->
+      let rows = List.filter (fun m -> m.Report.config = c) ms in
+      let tl = List.fold_left (fun a m -> a + m.Report.t_list) 0 rows in
+      let tn = List.fold_left (fun a m -> a + m.Report.t_new) 0 rows in
+      Buffer.add_string b
+        (Printf.sprintf "%s \"%s\": { \"t_list\": %d, \"t_new\": %d }"
+           (if i = 0 then "" else ",")
+           (json_escape c) tl tn))
+    configs;
+  Buffer.add_string b " }\n";
+  Buffer.add_string b "    }";
+  let entry = Buffer.contents b in
+  let runs = match previous_runs path with None -> entry | Some prev -> prev ^ ",\n    " ^ entry in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Printf.fprintf oc "{\n  \"runs\": [\n    %s\n  ]\n}\n" runs);
+  Printf.printf "wrote %s\n" path
+
 let () =
+  let cli = parse_cli () in
+  Pool.set_default_jobs cli.jobs;
   let t0 = Unix.gettimeofday () in
-  fig_1_to_4 ();
-  let benches = Suite.all () in
-  tables benches;
-  ablations benches;
-  micro ();
-  artifacts ();
-  Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  let benches =
+    timed "load-corpora" (fun () ->
+        if cli.smoke then [ Suite.load (List.hd Isched_perfect.Profile.all) ] else Suite.all ())
+  in
+  let configs =
+    if cli.smoke then
+      match Machine.paper_configs with a :: b :: _ -> [ a; b ] | short -> short
+    else Machine.paper_configs
+  in
+  if not cli.smoke then timed "figures" fig_1_to_4;
+  let ms = timed "tables" (fun () -> tables benches configs) in
+  if not cli.smoke then begin
+    timed "ablations" (fun () -> ablations benches);
+    timed "micro" micro;
+    timed "artifacts" artifacts
+  end;
+  let total = Unix.gettimeofday () -. t0 in
+  emit_record ~path:cli.out ~cli ~total ms;
+  Printf.printf "\nTotal bench time: %.1f s (jobs=%d)\n" total cli.jobs

@@ -27,6 +27,20 @@ let load_loops path =
 
 (* --- common flags --- *)
 
+let jobs_arg =
+  let doc =
+    "Width of the domain pool for fanning independent work across cores (tables subcommand); \
+     1 means sequential."
+  in
+  let set jobs =
+    if jobs < 1 then `Error (false, "--jobs must be >= 1")
+    else begin
+      Isched_util.Pool.set_default_jobs jobs;
+      `Ok ()
+    end
+  in
+  Term.(ret (const set $ Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)))
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-Fortran source file.")
 
@@ -304,7 +318,7 @@ let example_cmd =
 (* --- tables --- *)
 
 let tables_cmd =
-  let run which =
+  let run () which =
     let benches = Isched_perfect.Suite.all () in
     let print_t t = Isched_util.Table.print t in
     let table23 () =
@@ -329,7 +343,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables over the surrogate corpora.")
-    Term.(const run $ which)
+    Term.(const run $ jobs_arg $ which)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

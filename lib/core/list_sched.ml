@@ -13,11 +13,13 @@ let run ?priority ?release (g : Dfg.t) machine =
   let indeg = Array.make n 0 in
   Array.iter (fun arcs -> List.iter (fun (a : Dfg.arc) -> indeg.(a.dst) <- indeg.(a.dst) + 1) arcs) g.Dfg.succs;
   let est = Array.init n (fun i -> max 0 release.(i)) in
-  (* future.(c) = nodes becoming ready exactly at cycle c *)
-  let future : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  (* Calendar queue: bucket c holds the nodes becoming ready exactly at
+     cycle c.  The main loop walks cycles in order, so a cycle-indexed
+     vector gives O(1) insert and drain with no hashing. *)
+  let future : int list Isched_util.Vec.t = Isched_util.Vec.create () in
   let push_future c i =
-    let prev = Option.value ~default:[] (Hashtbl.find_opt future c) in
-    Hashtbl.replace future c (i :: prev)
+    Isched_util.Vec.ensure_size future (c + 1) [];
+    Isched_util.Vec.set future c (i :: Isched_util.Vec.get future c)
   in
   for i = 0 to n - 1 do
     if indeg.(i) = 0 then push_future est.(i) i
@@ -26,11 +28,11 @@ let run ?priority ?release (g : Dfg.t) machine =
   let scheduled = ref 0 in
   let cycle = ref 0 in
   while !scheduled < n do
-    (match Hashtbl.find_opt future !cycle with
-    | Some nodes ->
+    (match Isched_util.Vec.get_or future !cycle [] with
+    | [] -> ()
+    | nodes ->
       List.iter (fun i -> Pqueue.push ready ~prio:prio.(i) ~tie:i i) nodes;
-      Hashtbl.remove future !cycle
-    | None -> ());
+      Isched_util.Vec.set future !cycle []);
     (* Fill this cycle's issue slots in priority order; nodes that do not
        fit (unit conflict) are deferred within the cycle and retried next
        cycle. *)

@@ -1,25 +1,36 @@
 module Machine = Isched_ir.Machine
 module Instr = Isched_ir.Instr
 module Fu = Isched_ir.Fu
+module Vec = Isched_util.Vec
 
+(* Cycle-indexed growable occupancy tables.  Schedules touch cycles
+   densely from 0, so a flat array beats hashing on every probe; the
+   [*_full_below] hints additionally let [first_fit] skip the saturated
+   prefix instead of re-scanning it for every placement. *)
 type t = {
   machine : Machine.t;
-  issue_used : (int, int) Hashtbl.t;  (* cycle -> slots used *)
-  fu_used : (int * int, int) Hashtbl.t;  (* (fu index, cycle) -> units busy *)
+  issue_used : int Vec.t;  (* cycle -> issue slots used *)
+  fu_used : int Vec.t array;  (* per unit kind, cycle -> units busy *)
+  mutable issue_full_below : int;  (* every cycle below has no free issue slot *)
+  fu_full_below : int array;  (* per unit kind, every cycle below is saturated *)
 }
 
 let create machine =
   Machine.validate machine;
-  { machine; issue_used = Hashtbl.create 64; fu_used = Hashtbl.create 64 }
-
-let get tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
+  {
+    machine;
+    issue_used = Vec.create ();
+    fu_used = Array.init Fu.count (fun _ -> Vec.create ());
+    issue_full_below = 0;
+    fu_full_below = Array.make Fu.count 0;
+  }
 
 let duration t kind = if t.machine.Machine.pipelined then 1 else Fu.latency kind
 
 let fits t ~cycle i =
   if cycle < 0 then false
   else
-    get t.issue_used cycle < t.machine.Machine.issue_width
+    Vec.get_or t.issue_used cycle 0 < t.machine.Machine.issue_width
     &&
     match Instr.fu i with
     | None -> true
@@ -27,28 +38,57 @@ let fits t ~cycle i =
       let k = Fu.index kind in
       let avail = Machine.fu_count t.machine kind in
       let d = duration t kind in
+      let tbl = t.fu_used.(k) in
       let ok = ref true in
       for c = cycle to cycle + d - 1 do
-        if get t.fu_used (k, c) >= avail then ok := false
+        if Vec.get_or tbl c 0 >= avail then ok := false
       done;
       !ok
+
+let bump tbl c =
+  Vec.ensure_size tbl (c + 1) 0;
+  Vec.set tbl c (Vec.get tbl c + 1)
 
 let reserve t ~cycle i =
   if not (fits t ~cycle i) then
     invalid_arg (Printf.sprintf "Resource.reserve: %s does not fit at cycle %d" (Instr.to_string i) cycle);
-  Hashtbl.replace t.issue_used cycle (get t.issue_used cycle + 1);
+  bump t.issue_used cycle;
+  while Vec.get_or t.issue_used t.issue_full_below 0 >= t.machine.Machine.issue_width do
+    t.issue_full_below <- t.issue_full_below + 1
+  done;
   match Instr.fu i with
   | None -> ()
   | Some kind ->
     let k = Fu.index kind in
     let d = duration t kind in
     for c = cycle to cycle + d - 1 do
-      Hashtbl.replace t.fu_used (k, c) (get t.fu_used (k, c) + 1)
+      bump t.fu_used.(k) c
+    done;
+    let avail = Machine.fu_count t.machine kind in
+    while Vec.get_or t.fu_used.(k) t.fu_full_below.(k) 0 >= avail do
+      t.fu_full_below.(k) <- t.fu_full_below.(k) + 1
     done
 
 let first_fit t ~from i =
-  let c = ref (max 0 from) in
-  while not (fits t ~cycle:!c i) do
+  (* Start past the prefix known to be saturated for this instruction's
+     needs; the hints are lower bounds, so this never skips a fit. *)
+  let start =
+    let s = max 0 (max from t.issue_full_below) in
+    match Instr.fu i with None -> s | Some kind -> max s t.fu_full_below.(Fu.index kind)
+  in
+  (* Every cycle at or past the tables' horizon is entirely free, so the
+     scan is bounded: failing on an empty cycle means no cycle ever fits
+     (e.g. a unit the machine has zero copies of). *)
+  let horizon =
+    Array.fold_left (fun acc tbl -> max acc (Vec.length tbl)) (Vec.length t.issue_used) t.fu_used
+    |> max start
+  in
+  let c = ref start in
+  while !c <= horizon && not (fits t ~cycle:!c i) do
     incr c
   done;
+  if !c > horizon then
+    invalid_arg
+      (Printf.sprintf "Resource.first_fit: %s cannot be scheduled on %s at any cycle"
+         (Instr.to_string i) (Machine.name t.machine));
   !c

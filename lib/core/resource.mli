@@ -21,5 +21,8 @@ val fits : t -> cycle:int -> Instr.t -> bool
 val reserve : t -> cycle:int -> Instr.t -> unit
 
 (** [first_fit t ~from i] — the smallest cycle [>= from] where [i]
-    fits.  Always terminates (future cycles are free). *)
+    fits.  The scan is bounded by the tables' horizon (all later cycles
+    are free): if [i] does not fit on an empty cycle — a degenerate
+    machine with no copies of the required unit — it raises
+    [Invalid_argument] instead of spinning. *)
 val first_fit : t -> from:int -> Instr.t -> int

@@ -26,7 +26,33 @@ let scheduler_name = function
   | List_scheduling -> "list scheduling"
   | New_scheduling -> "new instruction scheduling"
 
-let prepare ?(options = default_options) (l : Ast.loop) =
+(* The front half of the pipeline is pure: the same (loop, options) pair
+   always restructures, compiles and builds the same graph, and none of
+   the produced structures is mutated downstream (schedulers allocate
+   their own working state).  The tables and ablations re-prepare the
+   same corpus loops dozens of times, so [prepare] memoizes on the
+   structural key below.  Only the option fields that the front half
+   reads participate in the key — [order_paths] is a scheduler knob. *)
+type prep_key = {
+  key_loop : Ast.loop;
+  key_eliminate : bool;
+  key_migrate : bool;
+  key_n_iters : int option;
+}
+
+let memo : (prep_key, prepared) Hashtbl.t = Hashtbl.create 64
+let memo_lock = Mutex.create ()
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+
+let memo_stats () = (Atomic.get hits, Atomic.get misses)
+
+let memo_clear () =
+  Mutex.protect memo_lock (fun () -> Hashtbl.reset memo);
+  Atomic.set hits 0;
+  Atomic.set misses 0
+
+let prepare_uncached (options : options) (l : Ast.loop) =
   let restructured = Restructure.run l in
   let l' = restructured.Restructure.loop in
   if Isched_deps.Dep.is_doall l' then Doall restructured
@@ -38,6 +64,28 @@ let prepare ?(options = default_options) (l : Ast.loop) =
     let graph = Isched_dfg.Dfg.build prog in
     Doacross { restructured; prog; graph }
   end
+
+let prepare ?(options = default_options) (l : Ast.loop) =
+  let key =
+    {
+      key_loop = l;
+      key_eliminate = options.eliminate;
+      key_migrate = options.migrate;
+      key_n_iters = options.n_iters;
+    }
+  in
+  match Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key) with
+  | Some p ->
+    Atomic.incr hits;
+    p
+  | None ->
+    (* Computed outside the lock: concurrent workers may race to prepare
+       the same loop (both results are equal; last insert wins), but the
+       expensive work never serializes behind the mutex. *)
+    let p = prepare_uncached options l in
+    Atomic.incr misses;
+    Mutex.protect memo_lock (fun () -> Hashtbl.replace memo key p);
+    p
 
 let schedule ?(options = default_options) prepared machine which =
   match prepared with

@@ -32,8 +32,23 @@ type prepared =
       graph : Isched_dfg.Dfg.t;
     }
 
-(** [prepare ?options l] runs the front half of the pipeline. *)
+(** [prepare ?options l] runs the front half of the pipeline.
+
+    Results are memoized on the structural key (loop, eliminate,
+    migrate, n_iters): the tables, sweeps and ablations re-prepare the
+    same corpus loops many times, and restructuring + code generation +
+    graph construction dominate their cost.  The cache is protected by a
+    mutex and safe to hit from {!Isched_util.Pool} workers; the cached
+    structures are never mutated downstream. *)
 val prepare : ?options:options -> Ast.loop -> prepared
+
+(** [memo_stats ()] — cumulative (hits, misses) of the {!prepare}
+    memo cache. *)
+val memo_stats : unit -> int * int
+
+(** [memo_clear ()] — drop the {!prepare} cache and reset its
+    counters (for tests and memory-sensitive callers). *)
+val memo_clear : unit -> unit
 
 type scheduler = List_scheduling | New_scheduling
 

@@ -1,8 +1,14 @@
 module Table = Isched_util.Table
+module Pool = Isched_util.Pool
 module Machine = Isched_ir.Machine
 module Program = Isched_ir.Program
 module Suite = Isched_perfect.Suite
 module Ast = Isched_frontend.Ast
+
+(* The expensive builders below fan their independent cells — one per
+   (benchmark x config) or (benchmark x variant) — across the domain
+   pool.  [Pool.map] keeps result order equal to input order, so every
+   table is byte-identical whatever the job count. *)
 
 (* --- Table 1 --- *)
 
@@ -53,30 +59,32 @@ let table1 benches =
 
 type measurement = { benchmark : string; config : string; t_list : int; t_new : int }
 
-let measure ?(options = Pipeline.default_options) benches configs =
-  List.concat_map
-    (fun (b : Suite.benchmark) ->
-      let prepared =
-        List.filter_map
-          (fun l ->
-            match Pipeline.prepare ~options l with
-            | Pipeline.Doall _ -> None
-            | Pipeline.Doacross _ as p -> Some p)
-          b.Suite.loops
-      in
-      List.map
-        (fun (cname, m) ->
-          let total which =
-            List.fold_left (fun acc p -> acc + Pipeline.loop_time ~options p m which) 0 prepared
-          in
-          {
-            benchmark = b.Suite.profile.Isched_perfect.Profile.name;
-            config = cname;
-            t_list = total Pipeline.List_scheduling;
-            t_new = total Pipeline.New_scheduling;
-          })
-        configs)
-    benches
+let measure ?(options = Pipeline.default_options) ?jobs benches configs =
+  let cells =
+    List.concat_map (fun (b : Suite.benchmark) -> List.map (fun c -> (b, c)) configs) benches
+  in
+  let cell ((b : Suite.benchmark), (cname, m)) =
+    (* [prepare] is memoized, so every cell of the same benchmark shares
+       one front-half run regardless of which worker gets there first. *)
+    let prepared =
+      List.filter_map
+        (fun l ->
+          match Pipeline.prepare ~options l with
+          | Pipeline.Doall _ -> None
+          | Pipeline.Doacross _ as p -> Some p)
+        b.Suite.loops
+    in
+    let total which =
+      List.fold_left (fun acc p -> acc + Pipeline.loop_time ~options p m which) 0 prepared
+    in
+    {
+      benchmark = b.Suite.profile.Isched_perfect.Profile.name;
+      config = cname;
+      t_list = total Pipeline.List_scheduling;
+      t_new = total Pipeline.New_scheduling;
+    }
+  in
+  Pool.map ?jobs cell cells
 
 let benchmarks_of ms = List.sort_uniq compare (List.map (fun m -> m.benchmark) ms)
 let configs_of ms =
@@ -210,29 +218,39 @@ let ablation_generic ~title ~variants benches =
   (* One reference config: the paper's 4-issue #FU=1 (the config where
      scheduling matters most). *)
   let machine = Machine.make ~issue:4 ~nfu:1 () in
-  List.iter
-    (fun (b : Suite.benchmark) ->
+  let cells =
+    List.concat_map (fun (b : Suite.benchmark) -> List.map (fun v -> (b, v)) variants) benches
+  in
+  let totals =
+    Array.of_list
+      (Pool.map
+         (fun ((b : Suite.benchmark), (_, (options, which))) ->
+           List.fold_left
+             (fun acc l ->
+               match Pipeline.prepare ~options l with
+               | Pipeline.Doall _ -> acc
+               | Pipeline.Doacross _ as p -> acc + Pipeline.loop_time ~options p machine which)
+             0 b.Suite.loops)
+         cells)
+  in
+  let nv = List.length variants in
+  List.iteri
+    (fun bi (b : Suite.benchmark) ->
       let base = ref None in
       let cells =
-        List.concat_map
-          (fun (_, (options, which)) ->
-            let total =
-              List.fold_left
-                (fun acc l ->
-                  match Pipeline.prepare ~options l with
-                  | Pipeline.Doall _ -> acc
-                  | Pipeline.Doacross _ as p -> acc + Pipeline.loop_time ~options p machine which)
-                0 b.Suite.loops
-            in
-            let impr =
-              match !base with
-              | None ->
-                base := Some total;
-                "-"
-              | Some b0 -> Table.fmt_pct (improvement ~t_list:b0 ~t_new:total)
-            in
-            [ Table.fmt_int total; impr ])
-          variants
+        List.concat
+          (List.mapi
+             (fun vi _ ->
+               let total = totals.((bi * nv) + vi) in
+               let impr =
+                 match !base with
+                 | None ->
+                   base := Some total;
+                   "-"
+                 | Some b0 -> Table.fmt_pct (improvement ~t_list:b0 ~t_new:total)
+               in
+               [ Table.fmt_int total; impr ])
+             variants)
       in
       Table.add_row t (b.Suite.profile.Isched_perfect.Profile.name :: cells))
     benches;
@@ -415,22 +433,25 @@ let ablation_markers benches =
         ]
   in
   let machine = Machine.make ~issue:4 ~nfu:1 () in
-  List.iter
-    (fun (b : Suite.benchmark) ->
-      let totals = ref (0, 0, 0) in
-      List.iter
-        (fun l ->
-          match Pipeline.prepare l with
-          | Pipeline.Doall _ -> ()
-          | Pipeline.Doacross { graph; _ } ->
-            let time s = (Isched_sim.Timing.run s).Isched_sim.Timing.finish in
-            let tl, tm, tn = !totals in
-            totals :=
+  let rows =
+    Pool.map
+      (fun (b : Suite.benchmark) ->
+        List.fold_left
+          (fun (tl, tm, tn) l ->
+            match Pipeline.prepare l with
+            | Pipeline.Doall _ -> (tl, tm, tn)
+            | Pipeline.Doacross { graph; _ } ->
+              let time s = (Isched_sim.Timing.run s).Isched_sim.Timing.finish in
               ( tl + time (Isched_core.List_sched.run graph machine),
                 tm + time (Isched_core.Marker_sched.run graph machine),
                 tn + time (Isched_core.Sync_sched.run graph machine) ))
-        b.Suite.loops;
-      let tl, tm, tn = !totals in
+          (0, 0, 0) b.Suite.loops)
+      benches
+    |> Array.of_list
+  in
+  List.iteri
+    (fun bi (b : Suite.benchmark) ->
+      let tl, tm, tn = rows.(bi) in
       Table.add_row t
         [
           b.Suite.profile.Isched_perfect.Profile.name;
@@ -497,17 +518,17 @@ let processor_sweep benches =
         :: List.map (fun p -> (Printf.sprintf "P=%d" p, Table.Right)) procs)
   in
   let machine = Machine.make ~issue:4 ~nfu:1 () in
-  List.iter
-    (fun (b : Suite.benchmark) ->
-      let schedules =
-        List.filter_map
-          (fun l ->
-            match Pipeline.prepare l with
-            | Pipeline.Doall _ -> None
-            | Pipeline.Doacross { graph; _ } -> Some (Isched_core.Sync_sched.run graph machine))
-          b.Suite.loops
-      in
-      let cells =
+  let rows =
+    Pool.map
+      (fun (b : Suite.benchmark) ->
+        let schedules =
+          List.filter_map
+            (fun l ->
+              match Pipeline.prepare l with
+              | Pipeline.Doall _ -> None
+              | Pipeline.Doacross { graph; _ } -> Some (Isched_core.Sync_sched.run graph machine))
+            b.Suite.loops
+        in
         List.map
           (fun np ->
             Table.fmt_int
@@ -515,9 +536,13 @@ let processor_sweep benches =
                  (fun acc s ->
                    acc + (Isched_sim.Timing.run ~n_procs:np s).Isched_sim.Timing.finish)
                  0 schedules))
-          procs
-      in
-      Table.add_row t (b.Suite.profile.Isched_perfect.Profile.name :: cells))
+          procs)
+      benches
+    |> Array.of_list
+  in
+  List.iteri
+    (fun bi (b : Suite.benchmark) ->
+      Table.add_row t (b.Suite.profile.Isched_perfect.Profile.name :: rows.(bi)))
     benches;
   t
 
@@ -540,36 +565,42 @@ let register_study benches =
            @ [ ("unlimited T", Table.Right) ]))
   in
   let machine = Machine.make ~issue:4 ~nfu:1 () in
-  List.iter
-    (fun (b : Suite.benchmark) ->
-      let progs =
-        List.filter_map
-          (fun l ->
-            match Pipeline.prepare l with
-            | Pipeline.Doall _ -> None
-            | Pipeline.Doacross { prog; _ } -> Some prog)
-          b.Suite.loops
-      in
-      let time prog =
-        let g = Isched_dfg.Dfg.build prog in
-        (Isched_sim.Timing.run (Isched_core.Sync_sched.run g machine)).Isched_sim.Timing.finish
-      in
-      let cells =
-        List.concat_map
-          (fun k ->
-            let spill_ops = ref 0 and total = ref 0 in
-            List.iter
-              (fun p ->
-                let r = Isched_codegen.Spill.insert p ~k in
-                spill_ops := !spill_ops + r.Isched_codegen.Spill.n_spill_ops;
-                total := !total + time r.Isched_codegen.Spill.prog)
-              progs;
-            [ Table.fmt_int !spill_ops; Table.fmt_int !total ])
-          ks
-      in
-      let unlimited = List.fold_left (fun acc p -> acc + time p) 0 progs in
-      Table.add_row t
-        ((b.Suite.profile.Isched_perfect.Profile.name :: cells) @ [ Table.fmt_int unlimited ]))
+  let rows =
+    Pool.map
+      (fun (b : Suite.benchmark) ->
+        let progs =
+          List.filter_map
+            (fun l ->
+              match Pipeline.prepare l with
+              | Pipeline.Doall _ -> None
+              | Pipeline.Doacross { prog; _ } -> Some prog)
+            b.Suite.loops
+        in
+        let time prog =
+          let g = Isched_dfg.Dfg.build prog in
+          (Isched_sim.Timing.run (Isched_core.Sync_sched.run g machine)).Isched_sim.Timing.finish
+        in
+        let cells =
+          List.concat_map
+            (fun k ->
+              let spill_ops = ref 0 and total = ref 0 in
+              List.iter
+                (fun p ->
+                  let r = Isched_codegen.Spill.insert p ~k in
+                  spill_ops := !spill_ops + r.Isched_codegen.Spill.n_spill_ops;
+                  total := !total + time r.Isched_codegen.Spill.prog)
+                progs;
+              [ Table.fmt_int !spill_ops; Table.fmt_int !total ])
+            ks
+        in
+        let unlimited = List.fold_left (fun acc p -> acc + time p) 0 progs in
+        cells @ [ Table.fmt_int unlimited ])
+      benches
+    |> Array.of_list
+  in
+  List.iteri
+    (fun bi (b : Suite.benchmark) ->
+      Table.add_row t (b.Suite.profile.Isched_perfect.Profile.name :: rows.(bi)))
     benches;
   t
 
@@ -591,37 +622,45 @@ let architecture_comparison benches =
         ]
   in
   let machine = Machine.make ~issue:4 ~nfu:1 () in
-  List.iter
-    (fun (b : Suite.benchmark) ->
-      let serial = ref 0 and modulo = ref 0 and doacross = ref 0 in
-      List.iter
-        (fun l ->
-          match Pipeline.prepare l with
-          | Pipeline.Doall _ -> ()
-          | Pipeline.Doacross { prog; graph; _ } ->
-            (* serial: iterations back to back, sync ops excluded like in
-               the modulo schedule *)
-            let real_ops =
-              Array.fold_left
-                (fun acc ins -> if Isched_ir.Instr.is_sync ins then acc else acc + 1)
-                0 prog.Program.body
-            in
-            serial := !serial + (prog.Program.n_iters * real_ops);
-            let ms = Isched_core.Modulo_sched.run graph machine in
-            modulo := !modulo + Isched_core.Modulo_sched.total_time ms;
-            doacross :=
-              !doacross
-              + (Isched_sim.Timing.run (Isched_core.Sync_sched.run graph machine))
-                  .Isched_sim.Timing.finish)
-        b.Suite.loops;
+  let rows =
+    Pool.map
+      (fun (b : Suite.benchmark) ->
+        let serial = ref 0 and modulo = ref 0 and doacross = ref 0 in
+        List.iter
+          (fun l ->
+            match Pipeline.prepare l with
+            | Pipeline.Doall _ -> ()
+            | Pipeline.Doacross { prog; graph; _ } ->
+              (* serial: iterations back to back, sync ops excluded like
+                 in the modulo schedule *)
+              let real_ops =
+                Array.fold_left
+                  (fun acc ins -> if Isched_ir.Instr.is_sync ins then acc else acc + 1)
+                  0 prog.Program.body
+              in
+              serial := !serial + (prog.Program.n_iters * real_ops);
+              let ms = Isched_core.Modulo_sched.run graph machine in
+              modulo := !modulo + Isched_core.Modulo_sched.total_time ms;
+              doacross :=
+                !doacross
+                + (Isched_sim.Timing.run (Isched_core.Sync_sched.run graph machine))
+                    .Isched_sim.Timing.finish)
+          b.Suite.loops;
+        (!serial, !modulo, !doacross))
+      benches
+    |> Array.of_list
+  in
+  List.iteri
+    (fun bi (b : Suite.benchmark) ->
+      let serial, modulo, doacross = rows.(bi) in
       Table.add_row t
         [
           b.Suite.profile.Isched_perfect.Profile.name;
-          Table.fmt_int !serial;
-          Table.fmt_int !modulo;
-          Table.fmt_int !doacross;
-          Table.fmt_float ~decimals:1 (float_of_int !serial /. float_of_int (max 1 !modulo));
-          Table.fmt_float ~decimals:1 (float_of_int !serial /. float_of_int (max 1 !doacross));
+          Table.fmt_int serial;
+          Table.fmt_int modulo;
+          Table.fmt_int doacross;
+          Table.fmt_float ~decimals:1 (float_of_int serial /. float_of_int (max 1 modulo));
+          Table.fmt_float ~decimals:1 (float_of_int serial /. float_of_int (max 1 doacross));
         ])
     benches;
   t

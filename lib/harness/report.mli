@@ -19,12 +19,17 @@ type measurement = {
   t_new : int;  (** T_b: total time, new scheduling *)
 }
 
-(** [measure ?options benches configs] — the full experiment: every
-    DOACROSS loop of every corpus, scheduled both ways on every machine
-    configuration and timed by the simulator. *)
+(** [measure ?options ?jobs benches configs] — the full experiment:
+    every DOACROSS loop of every corpus, scheduled both ways on every
+    machine configuration and timed by the simulator.  The
+    (benchmark x configuration) cells are independent and fan across
+    {!Isched_util.Pool} ([jobs] defaults to
+    {!Isched_util.Pool.default_jobs}); results come back in the same
+    order as a sequential run, so the tables do not depend on the job
+    count. *)
 val measure :
-  ?options:Pipeline.options -> Suite.benchmark list -> (string * Machine.t) list ->
-  measurement list
+  ?options:Pipeline.options -> ?jobs:int -> Suite.benchmark list ->
+  (string * Machine.t) list -> measurement list
 
 val table2 : measurement list -> Table.t
 val table3 : measurement list -> Table.t

@@ -6,11 +6,24 @@ type result = {
   iteration_starts : int array;
   iteration_finishes : int array;
   stall_cycles : int;
+  extrapolated_from : int option;
 }
 
 type assignment = [ `Cyclic | `Block ]
 
-let run_rows ?n_procs ?(assignment = `Cyclic) (p : Program.t) rows =
+(* The LBD loop theorem (PAPER.md Section 3) prices a loop as
+   (n/d)(i-j) + l: past a fill transient the per-iteration offset is
+   constant, so the tail of the simulation is an arithmetic progression.
+   [run_rows] simulates iterations in order as before but watches for
+   that steady state — once every component of the iteration state
+   (start, retirement, signal-post cycles, stalls) advances by one
+   uniform constant per period, the remaining iterations are written out
+   closed-form instead of simulated row by row. The periodic invariant
+   is checked on real data over a window covering every dependence lag,
+   which makes the extrapolation exact, not approximate (cross-checked
+   against the full simulation in test_sim). *)
+
+let run_rows ?n_procs ?(assignment = `Cyclic) ?(extrapolate = true) (p : Program.t) rows =
   let n = p.Program.n_iters in
   let n_procs = match n_procs with None -> n | Some np -> np in
   if n_procs < 1 then invalid_arg "Timing.run_rows: n_procs must be >= 1";
@@ -19,23 +32,24 @@ let run_rows ?n_procs ?(assignment = `Cyclic) (p : Program.t) rows =
      iteration.  Cyclic: the predecessor is k - n_procs.  Block: chunks
      of ceil(n / n_procs) consecutive iterations share a processor. *)
   let block = (n + n_procs - 1) / n_procs in
+  let limited = n_procs < n in
   let prev_on_proc k =
     match assignment with
     | `Cyclic -> if k >= n_procs then Some (k - n_procs) else None
     | `Block -> if k mod block <> 0 then Some (k - 1) else None
   in
-  let finish_at = Array.make n 0 in
-  (* post.(signal).(k) = cycle at which iteration (lo+k)'s Send executed;
+  let finish_at = Array.make (max n 1) 0 in
+  (* post.(signal).(k) = cycle at which iteration k's Send executed;
      -1 when not yet (or never) posted. *)
   let n_signals = Array.length p.Program.signals in
-  let post = Array.init n_signals (fun _ -> Array.make n (-1)) in
-  let iteration_starts = Array.make n 0 in
-  let finish = ref 0 in
-  let stalls = ref 0 in
-  for k = 0 to n - 1 do
+  let post = Array.init n_signals (fun _ -> Array.make (max n 1) (-1)) in
+  let iteration_starts = Array.make (max n 1) 0 in
+  let stall_of = Array.make (max n 1) 0 in
+  let simulate k =
     let proc_free = match prev_on_proc k with Some j -> finish_at.(j) | None -> 0 in
     let t = ref (proc_free - 1) in
     let first = ref None in
+    let stalls = ref 0 in
     Array.iter
       (fun row ->
         let earliest = !t + 1 in
@@ -67,9 +81,104 @@ let run_rows ?n_procs ?(assignment = `Cyclic) (p : Program.t) rows =
       rows;
     iteration_starts.(k) <- (match !first with Some c -> c | None -> proc_free);
     finish_at.(k) <- !t + 1;
-    finish := max !finish (!t + 1)
+    stall_of.(k) <- !stalls
+  in
+  (* Steady-state parameters.  [period]: the lag at which the iteration
+     recurrence repeats (1 with a full pool; the pool size under cyclic
+     assignment; the chunk size under block assignment, where chunk
+     boundaries lack the processor edge).  [lag]: how far back iteration
+     k+1's inputs reach, i.e. the window that must satisfy the periodic
+     invariant for the extrapolation to be exact.  [guard]: first
+     iteration from which the recurrence shape is the same at k and
+     k - period. *)
+  let d_max =
+    Array.fold_left (fun acc (w : Program.wait_info) -> max acc w.Program.distance) 0 p.Program.waits
+  in
+  let period =
+    if not limited then 1 else match assignment with `Cyclic -> n_procs | `Block -> block
+  in
+  let lag = max d_max (if limited then match assignment with `Cyclic -> n_procs | `Block -> 1 else 1) in
+  let guard = period + max 1 (max d_max (if limited && assignment = `Cyclic then n_procs else 0)) in
+  (* The window must cover a full period on top of the input lag:
+     under block assignment the residue classes mod [period] behave
+     differently (chunk-boundary iterations have no processor edge), so
+     every residue must be seen satisfying the invariant before the tail
+     is extrapolated. *)
+  let window = period + lag + 2 in
+  let usable = extrapolate && period <= 512 && n > guard + window + period in
+  (* Detection: a run of consecutive iterations whose full state vector
+     advances by one shared constant [lambda] over [period]. *)
+  let run_len = ref 0 in
+  let lambda = ref 0 in
+  let lambda_start = ref 0 in
+  let state_delta k =
+    (* Delta of state(k) - state(k - period): finish and every signal
+       post must share one constant; the iteration start may instead be
+       exactly constant (delta 0), which happens when the first row has
+       no applicable wait and the processor-free input is pinned at
+       cycle 0 — then its ready-max contains no growing term, so no
+       later dominance crossover is possible.  Stalls are excluded: they
+       are not shift-covariant at chunk boundaries and are reconstructed
+       exactly from the finish times instead. *)
+    let d = finish_at.(k) - finish_at.(k - period) in
+    let ds = iteration_starts.(k) - iteration_starts.(k - period) in
+    if
+      (ds = d || ds = 0)
+      &&
+      let ok = ref true in
+      for s = 0 to n_signals - 1 do
+        if post.(s).(k) - post.(s).(k - period) <> d then ok := false
+      done;
+      !ok
+    then Some (d, ds)
+    else None
+  in
+  let stable_at = ref None in
+  let k = ref 0 in
+  while !k < n && !stable_at = None do
+    simulate !k;
+    (if usable && !k >= guard + period then
+       match state_delta !k with
+       | Some (d, ds) when !run_len > 0 && d = !lambda && ds = !lambda_start ->
+         incr run_len;
+         if !run_len >= window then stable_at := Some !k
+       | Some (d, ds) ->
+         run_len := 1;
+         lambda := d;
+         lambda_start := ds
+       | None -> run_len := 0);
+    incr k
   done;
-  { finish = !finish; iteration_starts; iteration_finishes = finish_at; stall_cycles = !stalls }
+  (match !stable_at with
+  | None -> ()
+  | Some k_s ->
+    (* Closed-form tail: every residue class mod [period] keeps adding
+       [lambda] per period from its last simulated representative.  The
+       stall count follows from the timing identity
+       finish = proc_free + n_rows + stalls (each row costs one cycle
+       plus its stall), which holds whether or not the iteration sits at
+       a chunk boundary. *)
+    let n_rows = Array.length rows in
+    for k = k_s + 1 to n - 1 do
+      iteration_starts.(k) <- iteration_starts.(k - period) + !lambda_start;
+      finish_at.(k) <- finish_at.(k - period) + !lambda;
+      let proc_free = match prev_on_proc k with Some j -> finish_at.(j) | None -> 0 in
+      stall_of.(k) <- finish_at.(k) - proc_free - n_rows
+    done);
+  let finish = ref 0 in
+  let stalls = ref 0 in
+  for k = 0 to n - 1 do
+    finish := max !finish finish_at.(k);
+    stalls := !stalls + stall_of.(k)
+  done;
+  let trim a = if n = 0 then [||] else a in
+  {
+    finish = !finish;
+    iteration_starts = trim iteration_starts;
+    iteration_finishes = trim finish_at;
+    stall_cycles = !stalls;
+    extrapolated_from = !stable_at;
+  }
 
-let run ?n_procs ?assignment (s : Isched_core.Schedule.t) =
-  run_rows ?n_procs ?assignment s.Isched_core.Schedule.prog s.Isched_core.Schedule.rows
+let run ?n_procs ?assignment ?extrapolate (s : Isched_core.Schedule.t) =
+  run_rows ?n_procs ?assignment ?extrapolate s.Isched_core.Schedule.prog s.Isched_core.Schedule.rows

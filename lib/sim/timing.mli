@@ -19,6 +19,10 @@ type result = {
                                      first row issued (index 0 = lo) *)
   iteration_finishes : int array;  (** retirement cycle per iteration *)
   stall_cycles : int;  (** total cycles all processors spent stalled *)
+  extrapolated_from : int option;
+      (** [Some k] when iterations after [k] were produced by the
+          steady-state fast path instead of row-by-row simulation;
+          [None] when the whole run was simulated *)
 }
 
 (** Iteration-to-processor assignment for limited pools:
@@ -29,15 +33,23 @@ type result = {
     as a contrast knob). *)
 type assignment = [ `Cyclic | `Block ]
 
-(** [run ?n_procs ?assignment s] simulates the schedule.  [n_procs]
-    defaults to the paper's assumption of one processor per iteration;
-    with fewer, iterations are assigned per [assignment] (default
-    [`Cyclic]) and an iteration cannot start before its processor's
-    previous iteration retires.  Raises [Invalid_argument] if
-    [n_procs < 1]. *)
-val run : ?n_procs:int -> ?assignment:assignment -> Isched_core.Schedule.t -> result
+(** [run ?n_procs ?assignment ?extrapolate s] simulates the schedule.
+    [n_procs] defaults to the paper's assumption of one processor per
+    iteration; with fewer, iterations are assigned per [assignment]
+    (default [`Cyclic]) and an iteration cannot start before its
+    processor's previous iteration retires.  Raises [Invalid_argument]
+    if [n_procs < 1].
+
+    [extrapolate] (default [true]) enables the steady-state fast path
+    predicted by the LBD loop theorem: once the per-iteration offset is
+    provably periodic, the remaining iterations are produced closed-form
+    with results bit-identical to the full simulation.  Pass [false] to
+    force row-by-row simulation of every iteration (the tests' oracle). *)
+val run :
+  ?n_procs:int -> ?assignment:assignment -> ?extrapolate:bool -> Isched_core.Schedule.t -> result
 
 (** [run_rows] — the same machine model for a row layout given directly
     (rows of body indices), used by tests to cross-check hand layouts. *)
 val run_rows :
-  ?n_procs:int -> ?assignment:assignment -> Isched_ir.Program.t -> int array array -> result
+  ?n_procs:int -> ?assignment:assignment -> ?extrapolate:bool ->
+  Isched_ir.Program.t -> int array array -> result

@@ -1,0 +1,48 @@
+let default = ref 1
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  default := n
+
+let default_jobs () = !default
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+type 'b outcome = Done of 'b | Failed of exn
+
+(* Work-stealing over a shared atomic index; results land in an
+   index-addressed slot array, so the output order never depends on the
+   interleaving. *)
+let run_indexed ~jobs f (items : 'a array) : 'b array =
+  let n = Array.length items in
+  let results : 'b outcome option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (try Done (f i items.(i)) with e -> Failed e);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let n_domains = min (jobs - 1) (n - 1) in
+  let domains = Array.init n_domains (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  Array.map
+    (function
+      | Some (Done v) -> v
+      | Some (Failed e) -> raise e
+      | None -> assert false)
+    results
+
+let mapi ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> !default in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f 0 x ]
+  | _ when jobs <= 1 -> List.mapi f xs
+  | _ -> Array.to_list (run_indexed ~jobs (fun i x -> f i x) (Array.of_list xs))
+
+let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs

@@ -1,0 +1,32 @@
+(** Fixed-size domain pool for fanning independent jobs across cores.
+
+    The bench harness evaluates hundreds of independent
+    (benchmark x machine-config) cells; this pool runs them on OCaml 5
+    domains while keeping the result order deterministic: [map f xs] is
+    observably [List.map f xs], whatever the interleaving.
+
+    Jobs must be pure or synchronize their own shared state (the
+    pipeline memo table does its own locking).  Exceptions raised by a
+    job are caught in the worker and re-raised in the caller. *)
+
+(** [set_default_jobs n] sets the pool width used when [?jobs] is
+    omitted; [n <= 1] means run everything sequentially in the calling
+    domain.  Raises [Invalid_argument] on [n < 1]. *)
+val set_default_jobs : int -> unit
+
+(** [default_jobs ()] — the current default (initially 1, so nothing
+    spawns domains unless asked to). *)
+val default_jobs : unit -> int
+
+(** [recommended_jobs ()] — the detected core count
+    ({!Domain.recommended_domain_count}). *)
+val recommended_jobs : unit -> int
+
+(** [map ?jobs f xs] applies [f] to every element of [xs] on a pool of
+    [jobs] domains (default {!default_jobs}) and returns the results in
+    input order.  With [jobs <= 1] or fewer than two elements it
+    degrades to plain [List.map] with no domain spawned. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [mapi ?jobs f xs] — like {!map} with the element index. *)
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

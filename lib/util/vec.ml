@@ -43,6 +43,13 @@ let iteri f v =
 
 let last v = if v.size = 0 then raise Not_found else get v (v.size - 1)
 
+let ensure_size v n x =
+  while v.size < n do
+    push v x
+  done
+
+let get_or v i default = if i < 0 || i >= v.size then default else get v i
+
 let clear v =
   Array.fill v.data 0 v.size None;
   v.size <- 0

@@ -40,5 +40,15 @@ val iteri : (int -> 'a -> unit) -> 'a t -> unit
     when empty. *)
 val last : 'a t -> 'a
 
+(** [ensure_size v n x] extends [v] to at least [n] elements, filling
+    new slots with [x].  A no-op when [v] is already that long; the
+    reservation tables and calendar queues use it to index by cycle. *)
+val ensure_size : 'a t -> int -> 'a -> unit
+
+(** [get_or v i default] is element [i], or [default] when [i] is out of
+    range — the natural read on a cycle-indexed table whose tail is all
+    default. *)
+val get_or : 'a t -> int -> 'a -> 'a
+
 (** [clear v] removes all elements (keeps capacity). *)
 val clear : 'a t -> unit

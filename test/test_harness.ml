@@ -136,6 +136,30 @@ let test_worked_example_times () =
   Alcotest.(check bool) "list time" true (contains s "simulated 1200");
   Alcotest.(check bool) "new time well under half" true (contains s "simulated 457")
 
+let test_measure_pool_matches_sequential () =
+  (* The --jobs acceptance property: fanning the (benchmark x config)
+     cells over domains must reproduce the sequential measurement list
+     exactly, element for element. *)
+  let benches = small_benches () in
+  let seq = Report.measure ~jobs:1 benches Machine.paper_configs in
+  let par = Report.measure ~jobs:4 benches Machine.paper_configs in
+  check Alcotest.int "same length" (List.length seq) (List.length par);
+  Alcotest.(check bool) "identical measurements in order" true (seq = par)
+
+let test_prepare_memo () =
+  Pipeline.memo_clear ();
+  let l = Isched_frontend.Parser.parse_loop "DOACROSS I = 1, 10\n A[I] = A[I-1]\nENDDO" in
+  let a = Pipeline.prepare l in
+  let b = Pipeline.prepare l in
+  Alcotest.(check bool) "second call returns the cached value" true (a == b);
+  let hits, misses = Pipeline.memo_stats () in
+  check Alcotest.int "one miss" 1 misses;
+  Alcotest.(check bool) "at least one hit" true (hits >= 1);
+  (* a different option set is a different cache line *)
+  let c = Pipeline.prepare ~options:{ Pipeline.default_options with Pipeline.n_iters = Some 7 } l in
+  Alcotest.(check bool) "options partition the cache" true (c != a);
+  check Alcotest.int "second miss" 2 (snd (Pipeline.memo_stats ()))
+
 let test_options_respected () =
   let l = Isched_frontend.Parser.parse_loop "DOACROSS I = 1, 50\n A[5] = A[5] + E[I]\nENDDO" in
   let with_opts options =
@@ -164,4 +188,6 @@ let suite =
     ("worked example: all figures present", `Quick, test_worked_example_report);
     ("worked example: Fig. 4 times", `Quick, test_worked_example_times);
     ("pipeline options: redundant-sync elimination", `Quick, test_options_respected);
+    ("measure: domain pool equals sequential", `Quick, test_measure_pool_matches_sequential);
+    ("pipeline: prepare memoization", `Quick, test_prepare_memo);
   ]

@@ -82,6 +82,77 @@ let test_resource_reserve_checks () =
        false
      with Invalid_argument _ -> true)
 
+let test_resource_rejects_zero_fu () =
+  (* An instruction needing a unit with zero copies can never fit;
+     instead of letting first_fit spin forever, the degenerate machine
+     is rejected at table creation. *)
+  let m = Machine.with_fu (Machine.make ~issue:2 ~nfu:1 ()) Isched_ir.Fu.Multiplier 0 in
+  Alcotest.(check bool) "create validates the machine" true
+    (try
+       ignore (Resource.create m);
+       false
+     with Invalid_argument _ -> true)
+
+let test_resource_first_fit_far_start () =
+  (* Starting past every reservation must land on the start cycle, not
+     scan or raise: all cycles beyond the table horizon are free. *)
+  let r = Resource.create (Machine.make ~issue:1 ~nfu:1 ()) in
+  check Alcotest.int "empty tables" 500 (Resource.first_fit r ~from:500 add);
+  Resource.reserve r ~cycle:0 add;
+  check Alcotest.int "past the horizon" 500 (Resource.first_fit r ~from:500 add)
+
+let test_resource_matches_hashtbl_oracle () =
+  (* Oracle: the pre-overhaul Hashtbl reservation tables.  Drive both
+     models with one random placement stream and require identical fits
+     answers, first-fit landing sites and occupancy evolution. *)
+  let m = Machine.make ~issue:2 ~nfu:1 () in
+  let issue_used : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let fu_used : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let get tbl k = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+  let ref_fits ~cycle i =
+    cycle >= 0
+    && get issue_used cycle < m.Machine.issue_width
+    &&
+    match Instr.fu i with
+    | None -> true
+    | Some kind ->
+      let k = Isched_ir.Fu.index kind in
+      let avail = Machine.fu_count m kind in
+      let ok = ref true in
+      for c = cycle to cycle + Isched_ir.Fu.latency kind - 1 do
+        if get fu_used (k, c) >= avail then ok := false
+      done;
+      !ok
+  in
+  let ref_reserve ~cycle i =
+    Hashtbl.replace issue_used cycle (get issue_used cycle + 1);
+    match Instr.fu i with
+    | None -> ()
+    | Some kind ->
+      let k = Isched_ir.Fu.index kind in
+      for c = cycle to cycle + Isched_ir.Fu.latency kind - 1 do
+        Hashtbl.replace fu_used (k, c) (get fu_used (k, c) + 1)
+      done
+  in
+  let r = Resource.create m in
+  let rng = Isched_util.Prng.create 123 in
+  for step = 1 to 300 do
+    let i = Isched_util.Prng.choose rng [| add; mul; wait_i |] in
+    let probe = Isched_util.Prng.int rng 40 in
+    Alcotest.(check bool)
+      (Printf.sprintf "step %d: fits agree at %d" step probe)
+      (ref_fits ~cycle:probe i) (Resource.fits r ~cycle:probe i);
+    let from = Isched_util.Prng.int rng 40 in
+    let c = Resource.first_fit r ~from i in
+    let expected = ref from in
+    while not (ref_fits ~cycle:!expected i) do
+      incr expected
+    done;
+    check Alcotest.int (Printf.sprintf "step %d: first_fit from %d" step from) !expected c;
+    Resource.reserve r ~cycle:c i;
+    ref_reserve ~cycle:c i
+  done
+
 (* --- Schedule --- *)
 
 let test_schedule_of_cycles () =
@@ -400,6 +471,9 @@ let suite =
     ("resource: pipelined multiplier", `Quick, test_resource_pipelined_mul);
     ("resource: sync ops use no unit", `Quick, test_resource_sync_needs_no_fu);
     ("resource: first_fit", `Quick, test_resource_first_fit);
+    ("resource: zero-copy units rejected", `Quick, test_resource_rejects_zero_fu);
+    ("resource: first_fit far past the horizon", `Quick, test_resource_first_fit_far_start);
+    ("resource: agrees with the Hashtbl oracle", `Quick, test_resource_matches_hashtbl_oracle);
     ("resource: reserve checks fit", `Quick, test_resource_reserve_checks);
     ("schedule: of_cycles and positions", `Quick, test_schedule_of_cycles);
     ("schedule: rejects unscheduled nodes", `Quick, test_schedule_rejects_unscheduled);

@@ -73,6 +73,69 @@ let test_timing_run_rows_hand_layout () =
   (* serial rows: span = send - wait positions; theorem applies *)
   Alcotest.(check bool) "finishes" true (t.Timing.finish > 0)
 
+(* --- steady-state extrapolation --- *)
+
+let same_result msg (a : Timing.result) (b : Timing.result) =
+  check Alcotest.int (msg ^ ": finish") a.Timing.finish b.Timing.finish;
+  check Alcotest.int (msg ^ ": stalls") a.Timing.stall_cycles b.Timing.stall_cycles;
+  check Alcotest.(array int) (msg ^ ": starts") a.Timing.iteration_starts b.Timing.iteration_starts;
+  check
+    Alcotest.(array int)
+    (msg ^ ": finishes") a.Timing.iteration_finishes b.Timing.iteration_finishes
+
+let test_timing_extrapolation_matches_full () =
+  (* The satellite cross-check: over the Perfect-surrogate corpora, the
+     steady-state fast path must be bit-identical to the full simulation
+     for short, transient-only and steady-state trip counts, under both
+     iteration-to-processor assignments and several pool sizes. *)
+  List.iter
+    (fun (b : Isched_perfect.Suite.benchmark) ->
+      let loops =
+        List.filteri (fun i _ -> i < 3) b.Isched_perfect.Suite.loops
+      in
+      List.iter
+        (fun l ->
+          List.iter
+            (fun n ->
+              match Isched_codegen.Codegen.compile ~n_iters:n l with
+              | exception Invalid_argument _ -> ()
+              | p ->
+                let g = Dfg.build p in
+                List.iter
+                  (fun s ->
+                    List.iter
+                      (fun assignment ->
+                        List.iter
+                          (fun n_procs ->
+                            let fast = Timing.run ?n_procs ~assignment s in
+                            let full = Timing.run ?n_procs ~assignment ~extrapolate:false s in
+                            check Alcotest.(option int) "oracle never extrapolates" None
+                              full.Timing.extrapolated_from;
+                            same_result
+                              (Printf.sprintf "%s n=%d procs=%s" l.Isched_frontend.Ast.name n
+                                 (match n_procs with None -> "all" | Some p -> string_of_int p))
+                              full fast)
+                          [ None; Some 4; Some 10 ])
+                      [ `Cyclic; `Block ])
+                  [ Isched_core.List_sched.run g m4; Isched_core.Sync_sched.run g m4 ])
+            [ 1; 7; 100 ])
+        loops)
+    (Isched_perfect.Suite.all ())
+
+let test_timing_extrapolation_fires () =
+  (* On a long recurrence the fast path must actually engage (and stay
+     exact): that is where the 4x bench win comes from. *)
+  let p = compile ~n_iters:5000 "DOACROSS I = 1, 100\n A[I] = A[I-1] + E[I]\nENDDO" in
+  let g = Dfg.build p in
+  let s = Isched_core.Sync_sched.run g m4 in
+  let fast = Timing.run s in
+  Alcotest.(check bool) "extrapolation engaged" true (fast.Timing.extrapolated_from <> None);
+  same_result "n=5000 chain" (Timing.run ~extrapolate:false s) fast;
+  let fast4 = Timing.run ~n_procs:4 s in
+  Alcotest.(check bool) "engages with a limited pool" true
+    (fast4.Timing.extrapolated_from <> None);
+  same_result "n=5000 chain, 4 procs" (Timing.run ~n_procs:4 ~extrapolate:false s) fast4
+
 (* --- value simulation --- *)
 
 let expect_equiv src =
@@ -172,6 +235,10 @@ let suite =
     ("timing: chained iteration starts increase", `Quick, test_timing_iteration_starts_monotone_chain);
     ("timing: linear in the iteration count", `Quick, test_timing_n_iters_scaling);
     ("timing: run_rows on a hand layout", `Quick, test_timing_run_rows_hand_layout);
+    ( "timing: extrapolation exact on corpora, n in {1,7,100}, both assignments",
+      `Slow,
+      test_timing_extrapolation_matches_full );
+    ("timing: extrapolation engages on long runs", `Quick, test_timing_extrapolation_fires);
     ("value: Fig. 1 is exact", `Quick, test_value_fig1);
     ("value: multiplicative recurrence", `Quick, test_value_recurrence);
     ("value: guarded recurrence", `Quick, test_value_guard);

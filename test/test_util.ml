@@ -5,6 +5,7 @@ module Union_find = Isched_util.Union_find
 module Pqueue = Isched_util.Pqueue
 module Vec = Isched_util.Vec
 module Table = Isched_util.Table
+module Pool = Isched_util.Pool
 
 let check = Alcotest.check
 
@@ -233,6 +234,59 @@ let test_vec_iteri () =
     [ (0, 10); (1, 20); (2, 30) ]
     (List.rev !acc)
 
+let test_vec_ensure_size () =
+  let v = Vec.create () in
+  Vec.ensure_size v 5 7;
+  check Alcotest.int "grows to size" 5 (Vec.length v);
+  check Alcotest.int "filled with default" 7 (Vec.get v 3);
+  Vec.ensure_size v 3 9;
+  check Alcotest.int "never shrinks" 5 (Vec.length v);
+  check Alcotest.int "existing cells untouched" 7 (Vec.get v 2)
+
+let test_vec_get_or () =
+  let v = Vec.of_list [ 1; 2 ] in
+  check Alcotest.int "in range" 2 (Vec.get_or v 1 0);
+  check Alcotest.int "past the end" 0 (Vec.get_or v 5 0);
+  check Alcotest.int "negative index" 0 (Vec.get_or v (-1) 0)
+
+(* --- Pool --- *)
+
+let test_pool_map_order () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * 37) mod 101 in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      check Alcotest.(list int) (Printf.sprintf "jobs=%d" jobs) expected (Pool.map ~jobs f xs))
+    [ 1; 2; 4 ]
+
+let test_pool_mapi () =
+  check
+    Alcotest.(list string)
+    "indices in input order" [ "0a"; "1b"; "2c" ]
+    (Pool.mapi ~jobs:3 (fun i s -> string_of_int i ^ s) [ "a"; "b"; "c" ])
+
+let test_pool_exception () =
+  Alcotest.check_raises "worker exception reaches the caller" Exit (fun () ->
+      ignore (Pool.map ~jobs:2 (fun x -> if x = 3 then raise Exit else x) [ 1; 2; 3; 4 ]))
+
+let test_pool_defaults () =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs 3;
+  check Alcotest.int "updated" 3 (Pool.default_jobs ());
+  Pool.set_default_jobs saved;
+  Alcotest.(check bool) "recommended positive" true (Pool.recommended_jobs () >= 1);
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Pool.set_default_jobs: jobs must be >= 1") (fun () ->
+      Pool.set_default_jobs 0)
+
+let pool_matches_list_map =
+  qtest "pool: map over domains equals List.map"
+    QCheck2.Gen.(pair (int_range 1 4) (list_size (int_bound 40) (int_range (-1000) 1000)))
+    (fun (jobs, xs) ->
+      let f x = (x * x) - (3 * x) in
+      Pool.map ~jobs f xs = List.map f xs)
+
 (* --- Table --- *)
 
 let test_table_render () =
@@ -293,6 +347,13 @@ let suite =
     ("vec: list/array roundtrip", `Quick, test_vec_roundtrip);
     ("vec: clear", `Quick, test_vec_clear);
     ("vec: iteri order", `Quick, test_vec_iteri);
+    ("vec: ensure_size", `Quick, test_vec_ensure_size);
+    ("vec: get_or out of range", `Quick, test_vec_get_or);
+    ("pool: map preserves order across job counts", `Quick, test_pool_map_order);
+    ("pool: mapi indices", `Quick, test_pool_mapi);
+    ("pool: exceptions propagate", `Quick, test_pool_exception);
+    ("pool: default jobs knob", `Quick, test_pool_defaults);
+    pool_matches_list_map;
     ("table: render contains content", `Quick, test_table_render);
     ("table: arity check", `Quick, test_table_arity);
     ("table: cell formatting", `Quick, test_table_formats);
