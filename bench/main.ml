@@ -23,22 +23,33 @@ let section title = Printf.printf "\n%s\n== %s\n%s\n\n" line title line
 
 (* --- command line --- *)
 
-type cli = { mutable jobs : int; mutable smoke : bool; mutable out : string }
+type cli = {
+  mutable jobs : int;
+  mutable smoke : bool;
+  mutable out : string;
+  mutable trace : string option;
+  mutable counters : bool;
+}
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--jobs N] [--smoke] [--out FILE]\n\
-    \  --jobs N   width of the domain pool (default 1 = sequential)\n\
-    \  --smoke    reduced run: 1 benchmark, 2 configs, tables only\n\
-    \  --out FILE perf record path (default BENCH_results.json)";
+    "usage: main.exe [--jobs N] [--smoke] [--out FILE] [--trace FILE] [--counters]\n\
+    \  --jobs N     width of the domain pool (default 1 = sequential)\n\
+    \  --smoke      reduced run: 1 benchmark, 2 configs, tables only\n\
+    \  --out FILE   perf record path (default BENCH_results.json)\n\
+    \  --trace FILE write a Chrome/Perfetto trace_event JSON of the run\n\
+    \  --counters   print the observability counter registry at the end";
   exit 2
 
 let parse_cli () =
-  let cli = { jobs = 1; smoke = false; out = "BENCH_results.json" } in
+  let cli = { jobs = 1; smoke = false; out = "BENCH_results.json"; trace = None; counters = false } in
   let rec go = function
     | [] -> ()
     | "--smoke" :: rest ->
       cli.smoke <- true;
+      go rest
+    | "--counters" :: rest ->
+      cli.counters <- true;
       go rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with Some j when j >= 1 -> cli.jobs <- j | _ -> usage ());
@@ -46,8 +57,12 @@ let parse_cli () =
     | "--out" :: path :: rest ->
       cli.out <- path;
       go rest
+    | "--trace" :: path :: rest ->
+      cli.trace <- Some path;
+      go rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> go ("--jobs" :: String.sub arg 7 (String.length arg - 7) :: rest)
     | arg :: rest when String.length arg > 6 && String.sub arg 0 6 = "--out=" -> go ("--out" :: String.sub arg 6 (String.length arg - 6) :: rest)
+    | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" -> go ("--trace" :: String.sub arg 8 (String.length arg - 8) :: rest)
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -283,7 +298,13 @@ let emit_record ~path ~cli ~total (ms : Report.measurement list) =
            (if i = 0 then "" else ",")
            (json_escape c) tl tn))
     configs;
-  Buffer.add_string b " }\n";
+  Buffer.add_string b " },\n";
+  (* Full counter snapshot (see doc/observability.md for the schema):
+     scheduler runs, pool utilisation, first_fit probe lengths, timing
+     fast-path hits... so every future perf PR has a machine-readable
+     before/after story beyond wall-clock. *)
+  Buffer.add_string b
+    (Printf.sprintf "      \"counters\": %s\n" (Isched_obs.Counters.to_json ()));
   Buffer.add_string b "    }";
   let entry = Buffer.contents b in
   let runs = match previous_runs path with None -> entry | Some prev -> prev ^ ",\n    " ^ entry in
@@ -296,6 +317,7 @@ let emit_record ~path ~cli ~total (ms : Report.measurement list) =
 let () =
   let cli = parse_cli () in
   Pool.set_default_jobs cli.jobs;
+  (match cli.trace with None -> () | Some _ -> Isched_obs.Span.set_enabled true);
   let t0 = Unix.gettimeofday () in
   let benches =
     timed "load-corpora" (fun () ->
@@ -315,4 +337,13 @@ let () =
   end;
   let total = Unix.gettimeofday () -. t0 in
   emit_record ~path:cli.out ~cli ~total ms;
+  (match cli.trace with
+  | None -> ()
+  | Some path ->
+    Isched_obs.Span.write_file path;
+    Printf.printf "wrote %s\n" path);
+  if cli.counters then begin
+    print_string "\n--- counters ---\n";
+    print_string (Isched_obs.Counters.render ())
+  end;
   Printf.printf "\nTotal bench time: %.1f s (jobs=%d)\n" total cli.jobs

@@ -27,6 +27,37 @@ let load_loops path =
 
 (* --- common flags --- *)
 
+(* Observability: every subcommand accepts --trace FILE (Perfetto
+   trace_event JSON of the whole run) and --counters (dump the counter
+   registry on exit).  Both are wired through at_exit so they fire after
+   the subcommand's normal output, whatever path it exits on. *)
+let obs_term =
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome/Perfetto trace_event JSON of this run to $(docv) \
+                 (open at https://ui.perfetto.dev).")
+  in
+  let counters =
+    Arg.(value & flag & info [ "counters" ]
+           ~doc:"Print the observability counter registry (memo hits, scheduler runs, sync-span \
+                 histograms, ...) when the command finishes.")
+  in
+  let setup trace counters =
+    (match trace with
+    | None -> ()
+    | Some path ->
+      Isched_obs.Span.set_enabled true;
+      at_exit (fun () ->
+          Isched_obs.Span.write_file path;
+          Printf.eprintf "wrote %s\n%!" path));
+    if counters then
+      at_exit (fun () ->
+          print_string "--- counters ---\n";
+          print_string (Isched_obs.Counters.render ());
+          flush stdout)
+  in
+  Term.(const setup $ trace $ counters)
+
 let jobs_arg =
   let doc =
     "Width of the domain pool for fanning independent work across cores (tables subcommand); \
@@ -113,7 +144,7 @@ let maybe_restructure restructure l =
 (* --- compile --- *)
 
 let compile_cmd =
-  let run file restructure =
+  let run () file restructure =
     List.iter
       (fun l ->
         let l = maybe_restructure restructure l in
@@ -129,12 +160,12 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Emit annotated source and three-address code.")
-    Term.(const run $ file_arg $ restructure_flag)
+    Term.(const run $ obs_term $ file_arg $ restructure_flag)
 
 (* --- deps --- *)
 
 let deps_cmd =
-  let run file restructure =
+  let run () file restructure =
     List.iter
       (fun l ->
         let l = maybe_restructure restructure l in
@@ -147,12 +178,12 @@ let deps_cmd =
   in
   Cmd.v
     (Cmd.info "deps" ~doc:"Print the dependence analysis of each loop.")
-    Term.(const run $ file_arg $ restructure_flag)
+    Term.(const run $ obs_term $ file_arg $ restructure_flag)
 
 (* --- dfg --- *)
 
 let dfg_cmd =
-  let run file restructure =
+  let run () file restructure =
     List.iter
       (fun l ->
         let l = maybe_restructure restructure l in
@@ -163,12 +194,12 @@ let dfg_cmd =
   in
   Cmd.v
     (Cmd.info "dfg" ~doc:"Emit the data-flow graph in Graphviz dot syntax.")
-    Term.(const run $ file_arg $ restructure_flag)
+    Term.(const run $ obs_term $ file_arg $ restructure_flag)
 
 (* --- sched --- *)
 
 let sched_cmd =
-  let run file restructure machine wide unroll spill_k nprocs which =
+  let run () file restructure machine wide unroll spill_k nprocs which =
     List.iter
       (fun l ->
         let l = maybe_restructure restructure l in
@@ -203,13 +234,13 @@ let sched_cmd =
   Cmd.v
     (Cmd.info "sched" ~doc:"Schedule each loop and report times (list, marker and new schedulers).")
     Term.(
-      const run $ file_arg $ restructure_flag $ machine_term $ wide $ unroll_arg $ spill_arg
-      $ nprocs_arg $ scheduler_arg)
+      const run $ obs_term $ file_arg $ restructure_flag $ machine_term $ wide $ unroll_arg
+      $ spill_arg $ nprocs_arg $ scheduler_arg)
 
 (* --- sim --- *)
 
 let sim_cmd =
-  let run file restructure machine =
+  let run () file restructure machine =
     List.iter
       (fun l ->
         let l = maybe_restructure restructure l in
@@ -233,12 +264,12 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Value-accurate parallel simulation with the stale-data check.")
-    Term.(const run $ file_arg $ restructure_flag $ machine_term)
+    Term.(const run $ obs_term $ file_arg $ restructure_flag $ machine_term)
 
 (* --- asm --- *)
 
 let asm_cmd =
-  let run file restructure machine unroll spill_k k scheduled which =
+  let run () file restructure machine unroll spill_k k scheduled which =
     List.iter
       (fun l ->
         let l = maybe_restructure restructure l in
@@ -264,13 +295,13 @@ let asm_cmd =
   Cmd.v
     (Cmd.info "asm" ~doc:"Emit DLX-flavoured assembly with physical registers.")
     Term.(
-      const run $ file_arg $ restructure_flag $ machine_term $ unroll_arg $ spill_arg $ k
-      $ scheduled $ scheduler_arg)
+      const run $ obs_term $ file_arg $ restructure_flag $ machine_term $ unroll_arg $ spill_arg
+      $ k $ scheduled $ scheduler_arg)
 
 (* --- viz --- *)
 
 let viz_cmd =
-  let run file restructure machine unroll nprocs which out =
+  let run () file restructure machine unroll nprocs which out =
     List.iter
       (fun l ->
         let l = maybe_restructure restructure l in
@@ -304,21 +335,21 @@ let viz_cmd =
     (Cmd.info "viz"
        ~doc:"Render the execution wavefront (ASCII, optionally SVG) of each loop's schedule.")
     Term.(
-      const run $ file_arg $ restructure_flag $ machine_term $ unroll_arg $ nprocs_arg
+      const run $ obs_term $ file_arg $ restructure_flag $ machine_term $ unroll_arg $ nprocs_arg
       $ scheduler_arg $ out)
 
 (* --- example --- *)
 
 let example_cmd =
-  let run () = print_string (Isched_harness.Worked_example.report ()) in
+  let run () () = print_string (Isched_harness.Worked_example.report ()) in
   Cmd.v
     (Cmd.info "example" ~doc:"Print the paper's Figs. 1-4 worked example.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term $ const ())
 
 (* --- tables --- *)
 
 let tables_cmd =
-  let run () which =
+  let run () () which =
     let benches = Isched_perfect.Suite.all () in
     let print_t t = Isched_util.Table.print t in
     let table23 () =
@@ -343,7 +374,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables over the surrogate corpora.")
-    Term.(const run $ jobs_arg $ which)
+    Term.(const run $ obs_term $ jobs_arg $ which)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -414,3 +414,9 @@ let compile ?(eliminate = false) ?(migrate = false) ?n_iters l =
       run ?n_iters l (Plan.of_deps l kept)
     end
   end
+
+(* Observability shadows: the exported entry points are the traced ones. *)
+let run ?n_iters l plan = Isched_obs.Span.with_ ~name:"codegen.run" (fun () -> run ?n_iters l plan)
+
+let compile ?eliminate ?migrate ?n_iters l =
+  Isched_obs.Span.with_ ~name:"codegen.compile" (fun () -> compile ?eliminate ?migrate ?n_iters l)

@@ -34,6 +34,10 @@ let pairs (s : Schedule.t) =
 
 let n_lbd s = List.length (List.filter (fun r -> r.is_lbd) (pairs s))
 
+let observe_sync_spans d s =
+  if Isched_obs.Counters.enabled () then
+    List.iter (fun r -> Isched_obs.Counters.observe d (r.send_pos - r.wait_pos)) (pairs s)
+
 let fold_time f s =
   List.fold_left (fun acc r -> max acc (f r)) s.Schedule.length (pairs s)
 

@@ -31,6 +31,12 @@ val pairs : Schedule.t -> pair_report list
 (** [n_lbd s] — pairs still lexically backward in the schedule. *)
 val n_lbd : Schedule.t -> int
 
+(** [observe_sync_spans d s] records the [i - j] sync span of every
+    pair of [s] into the distribution [d] — the per-schedule LBD metric
+    the schedulers publish ([sched.<which>.sync_span]).  No-op when
+    counter collection is disabled. *)
+val observe_sync_spans : Isched_obs.Counters.dist -> Schedule.t -> unit
+
 (** [paper_time s] / [exact_time s] — the predicted parallel execution
     time of the whole loop: the worst pair (or [l] when every pair is
     forward). *)

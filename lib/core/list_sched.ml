@@ -1,8 +1,13 @@
 module Machine = Isched_ir.Machine
 module Dfg = Isched_dfg.Dfg
 module Pqueue = Isched_util.Pqueue
+module Span = Isched_obs.Span
+module Counters = Isched_obs.Counters
 
-let run ?priority ?release (g : Dfg.t) machine =
+let c_runs = Counters.counter "sched.list.runs"
+let d_sync_span = Counters.dist "sched.list.sync_span"
+
+let run_inner ?priority ?release (g : Dfg.t) machine =
   let n = g.Dfg.n in
   let prio = match priority with Some p -> p | None -> Dfg.longest_path_to_exit g in
   if Array.length prio <> n then invalid_arg "List_sched.run: priority length mismatch";
@@ -57,3 +62,9 @@ let run ?priority ?release (g : Dfg.t) machine =
     incr cycle
   done;
   Schedule.of_cycles g.Dfg.prog machine cycle_of
+
+let run ?priority ?release (g : Dfg.t) machine =
+  Counters.incr c_runs;
+  let s = Span.with_ ~name:"sched.list" (fun () -> run_inner ?priority ?release g machine) in
+  Lbd_model.observe_sync_spans d_sync_span s;
+  s

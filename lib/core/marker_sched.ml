@@ -1,8 +1,13 @@
 module Dfg = Isched_dfg.Dfg
 module Instr = Isched_ir.Instr
 module Program = Isched_ir.Program
+module Span = Isched_obs.Span
+module Counters = Isched_obs.Counters
 
-let run (g : Dfg.t) machine =
+let c_runs = Counters.counter "sched.marker.runs"
+let d_sync_span = Counters.dist "sched.marker.sync_span"
+
+let run_inner (g : Dfg.t) machine =
   let p = g.Dfg.prog in
   let n = g.Dfg.n in
   let base = Dfg.longest_path_to_exit g in
@@ -29,3 +34,12 @@ let run (g : Dfg.t) machine =
       release.(w.Program.wait_instr) <- max 0 (asap.(w.Program.snk_instr) - 1))
     p.Program.waits;
   List_sched.run ~priority ~release g machine
+
+(* Note: the marker scheduler drives {!List_sched.run} underneath, so
+   every [sched.marker.runs] also counts one nested [sched.list.runs]
+   (same for the new scheduler's baseline comparison). *)
+let run (g : Dfg.t) machine =
+  Counters.incr c_runs;
+  let s = Span.with_ ~name:"sched.marker" (fun () -> run_inner g machine) in
+  Lbd_model.observe_sync_spans d_sync_span s;
+  s

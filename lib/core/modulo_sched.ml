@@ -176,7 +176,10 @@ let attempt (p : Program.t) (m : Machine.t) ops arcs ~ii =
     order;
   if !ok then Some sched else None
 
-let run (g : Dfg.t) machine =
+let c_runs = Isched_obs.Counters.counter "sched.modulo.runs"
+let d_ii_searches = Isched_obs.Counters.dist "sched.modulo.ii_attempts"
+
+let run_inner (g : Dfg.t) machine =
   Machine.validate machine;
   let p = g.Dfg.prog in
   let ops =
@@ -197,12 +200,17 @@ let run (g : Dfg.t) machine =
     | None -> search (ii + 1)
   in
   let ii, cycle_of = search (max 1 mii) in
+  Isched_obs.Counters.observe d_ii_searches (ii - max 1 mii + 1);
   let span =
     List.fold_left
       (fun acc i -> max acc (cycle_of.(i) + Instr.latency p.Program.body.(i)))
       0 ops
   in
   { prog = p; machine; ii; cycle_of; span; res_mii = rmii; rec_mii = cmii }
+
+let run (g : Dfg.t) machine =
+  Isched_obs.Counters.incr c_runs;
+  Isched_obs.Span.with_ ~name:"sched.modulo" (fun () -> run_inner g machine)
 
 let total_time t = ((t.prog.Program.n_iters - 1) * t.ii) + t.span
 

@@ -2,6 +2,12 @@ module Machine = Isched_ir.Machine
 module Instr = Isched_ir.Instr
 module Fu = Isched_ir.Fu
 module Vec = Isched_util.Vec
+module Counters = Isched_obs.Counters
+
+(* Probe length of each [first_fit] call: how many candidate cycles were
+   tested before one fit.  A growing tail here means the saturation
+   hints are losing their bite. *)
+let d_probes = Counters.dist "resource.first_fit.probes"
 
 (* Cycle-indexed growable occupancy tables.  Schedules touch cycles
    densely from 0, so a flat array beats hashing on every probe; the
@@ -87,6 +93,7 @@ let first_fit t ~from i =
   while !c <= horizon && not (fits t ~cycle:!c i) do
     incr c
   done;
+  Counters.observe d_probes (!c - start + 1);
   if !c > horizon then
     invalid_arg
       (Printf.sprintf "Resource.first_fit: %s cannot be scheduled on %s at any cycle"

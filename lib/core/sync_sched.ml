@@ -2,6 +2,12 @@ module Machine = Isched_ir.Machine
 module Program = Isched_ir.Program
 module Instr = Isched_ir.Instr
 module Dfg = Isched_dfg.Dfg
+module Span = Isched_obs.Span
+module Counters = Isched_obs.Counters
+
+let c_runs = Counters.counter "sched.new.runs"
+let c_fallbacks = Counters.counter "sched.new.list_fallback"
+let d_sync_span = Counters.dist "sched.new.sync_span"
 
 type options = { order_paths : bool; compact : bool }
 
@@ -139,7 +145,7 @@ let place_path st (p : Dfg.sync_path) =
       nodes
   end
 
-let run ?(options = default_options) (g : Dfg.t) machine =
+let run_inner ~options (g : Dfg.t) machine =
   let p = g.Dfg.prog in
   let n = g.Dfg.n in
   let st =
@@ -211,4 +217,14 @@ let run ?(options = default_options) (g : Dfg.t) machine =
      synchronization, where greedy ASAP filling can lose a row or two to
      critical-path ordering), return the list schedule instead. *)
   let baseline = List_sched.run g machine in
-  if Lbd_model.exact_time baseline < Lbd_model.exact_time sched then baseline else sched
+  if Lbd_model.exact_time baseline < Lbd_model.exact_time sched then begin
+    Counters.incr c_fallbacks;
+    baseline
+  end
+  else sched
+
+let run ?(options = default_options) (g : Dfg.t) machine =
+  Counters.incr c_runs;
+  let s = Span.with_ ~name:"sched.new" (fun () -> run_inner ~options g machine) in
+  Lbd_model.observe_sync_spans d_sync_span s;
+  s

@@ -234,3 +234,6 @@ let pp_dot ppf g =
     g.succs;
   Format.fprintf ppf "}@."
 
+
+(* Observability shadow: the exported [build] is the traced one. *)
+let build ?sync_arcs p = Isched_obs.Span.with_ ~name:"dfg.build" (fun () -> build ?sync_arcs p)

@@ -189,17 +189,18 @@ let parse_loop_at st ~name =
   { Ast.kind; index; lo; hi; body = List.rev !body; name }
 
 let parse ?(name = "loop") src =
-  let st = { toks = Lexer.tokenize src; index_var = None } in
-  let loops = ref [] in
-  let count = ref 0 in
-  skip_newlines st;
-  while (peek st).tok <> Lexer.TEof do
-    incr count;
-    let l = parse_loop_at st ~name:(Printf.sprintf "%s.L%d" name !count) in
-    loops := l :: !loops;
-    skip_newlines st
-  done;
-  List.rev !loops
+  Isched_obs.Span.with_ ~name:"frontend.parse" (fun () ->
+      let st = { toks = Lexer.tokenize src; index_var = None } in
+      let loops = ref [] in
+      let count = ref 0 in
+      skip_newlines st;
+      while (peek st).tok <> Lexer.TEof do
+        incr count;
+        let l = parse_loop_at st ~name:(Printf.sprintf "%s.L%d" name !count) in
+        loops := l :: !loops;
+        skip_newlines st
+      done;
+      List.rev !loops)
 
 let parse_loop ?(name = "loop") src =
   match parse ~name src with

@@ -60,7 +60,7 @@ let check (l : Ast.loop) =
   List.rev !errors
 
 let check_exn l =
-  match check l with
+  match Isched_obs.Span.with_ ~name:"frontend.sema" (fun () -> check l) with
   | [] -> ()
   | errs ->
     let msgs = List.map (fun e -> Format.asprintf "%a" pp_error e) errs in

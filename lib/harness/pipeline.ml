@@ -2,6 +2,8 @@ module Ast = Isched_frontend.Ast
 module Program = Isched_ir.Program
 module Machine = Isched_ir.Machine
 module Restructure = Isched_transform.Restructure
+module Span = Isched_obs.Span
+module Counters = Isched_obs.Counters
 
 type options = {
   eliminate : bool;
@@ -20,10 +22,13 @@ type prepared =
       graph : Isched_dfg.Dfg.t;
     }
 
-type scheduler = List_scheduling | New_scheduling
+type scheduler = List_scheduling | Marker_scheduling | New_scheduling
+
+let all_schedulers = [ List_scheduling; Marker_scheduling; New_scheduling ]
 
 let scheduler_name = function
   | List_scheduling -> "list scheduling"
+  | Marker_scheduling -> "marker-guided scheduling"
   | New_scheduling -> "new instruction scheduling"
 
 (* The front half of the pipeline is pure: the same (loop, options) pair
@@ -42,28 +47,33 @@ type prep_key = {
 
 let memo : (prep_key, prepared) Hashtbl.t = Hashtbl.create 64
 let memo_lock = Mutex.create ()
-let hits = Atomic.make 0
-let misses = Atomic.make 0
 
-let memo_stats () = (Atomic.get hits, Atomic.get misses)
+(* The memo accounting now lives in the process-wide counter registry
+   (it used to be two private atomics) so --counters and the bench
+   records read the same numbers as [memo_stats]. *)
+let c_hits = Counters.counter "pipeline.memo.hit"
+let c_misses = Counters.counter "pipeline.memo.miss"
+
+let memo_stats () = (Counters.value c_hits, Counters.value c_misses)
 
 let memo_clear () =
   Mutex.protect memo_lock (fun () -> Hashtbl.reset memo);
-  Atomic.set hits 0;
-  Atomic.set misses 0
+  Counters.reset_counter c_hits;
+  Counters.reset_counter c_misses
 
 let prepare_uncached (options : options) (l : Ast.loop) =
-  let restructured = Restructure.run l in
-  let l' = restructured.Restructure.loop in
-  if Isched_deps.Dep.is_doall l' then Doall restructured
-  else begin
-    let prog =
-      Isched_codegen.Codegen.compile ~eliminate:options.eliminate ~migrate:options.migrate
-        ?n_iters:options.n_iters l'
-    in
-    let graph = Isched_dfg.Dfg.build prog in
-    Doacross { restructured; prog; graph }
-  end
+  Span.with_ ~name:"pipeline.prepare" ~args:[ ("loop", l.Ast.name) ] (fun () ->
+      let restructured = Restructure.run l in
+      let l' = restructured.Restructure.loop in
+      if Isched_deps.Dep.is_doall l' then Doall restructured
+      else begin
+        let prog =
+          Isched_codegen.Codegen.compile ~eliminate:options.eliminate ~migrate:options.migrate
+            ?n_iters:options.n_iters l'
+        in
+        let graph = Isched_dfg.Dfg.build prog in
+        Doacross { restructured; prog; graph }
+      end)
 
 let prepare ?(options = default_options) (l : Ast.loop) =
   let key =
@@ -76,18 +86,18 @@ let prepare ?(options = default_options) (l : Ast.loop) =
   in
   match Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key) with
   | Some p ->
-    Atomic.incr hits;
+    Counters.incr c_hits;
     p
   | None ->
     (* Computed outside the lock: concurrent workers may race to prepare
        the same loop (both results are equal; last insert wins), but the
        expensive work never serializes behind the mutex. *)
     let p = prepare_uncached options l in
-    Atomic.incr misses;
+    Counters.incr c_misses;
     Mutex.protect memo_lock (fun () -> Hashtbl.replace memo key p);
     p
 
-let schedule ?(options = default_options) prepared machine which =
+let schedule_inner ~options prepared machine which =
   match prepared with
   | Doall r ->
     invalid_arg
@@ -95,11 +105,18 @@ let schedule ?(options = default_options) prepared machine which =
   | Doacross { graph; _ } -> (
     match which with
     | List_scheduling -> Isched_core.List_sched.run graph machine
+    | Marker_scheduling -> Isched_core.Marker_sched.run graph machine
     | New_scheduling ->
       let opts =
         { Isched_core.Sync_sched.default_options with order_paths = options.order_paths }
       in
       Isched_core.Sync_sched.run ~options:opts graph machine)
+
+let schedule ?(options = default_options) prepared machine which =
+  if Span.enabled () then
+    Span.with_ ~name:"pipeline.schedule" ~args:[ ("scheduler", scheduler_name which) ] (fun () ->
+        schedule_inner ~options prepared machine which)
+  else schedule_inner ~options prepared machine which
 
 let loop_time ?(options = default_options) prepared machine which =
   let s = schedule ~options prepared machine which in

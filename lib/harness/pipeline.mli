@@ -42,15 +42,21 @@ type prepared =
     structures are never mutated downstream. *)
 val prepare : ?options:options -> Ast.loop -> prepared
 
-(** [memo_stats ()] — cumulative (hits, misses) of the {!prepare}
-    memo cache. *)
+(** [memo_stats ()] — cumulative (hits, misses) of the {!prepare} memo
+    cache.  Backed by the {!Isched_obs.Counters} registry (counters
+    [pipeline.memo.hit] / [pipeline.memo.miss]); both views always
+    agree. *)
 val memo_stats : unit -> int * int
 
 (** [memo_clear ()] — drop the {!prepare} cache and reset its
     counters (for tests and memory-sensitive callers). *)
 val memo_clear : unit -> unit
 
-type scheduler = List_scheduling | New_scheduling
+type scheduler = List_scheduling | Marker_scheduling | New_scheduling
+
+(** Every scheduler the pipeline can drive, in baseline-to-best order
+    (the property tests check all of them). *)
+val all_schedulers : scheduler list
 
 (** [schedule ?options prepared m which] — the back half; only valid on
     [Doacross].  The result passes {!Isched_core.Schedule.validate}. *)

@@ -1,0 +1,159 @@
+type counter = int Atomic.t
+
+type dist_state = {
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  mn : int Atomic.t;
+  mx : int Atomic.t;
+  (* Slot 0 counts negative samples, slots 1..64 the exact values 0..63,
+     slot 65 everything >= 64. *)
+  buckets : int Atomic.t array;
+}
+
+type dist = dist_state
+
+let n_buckets = 66
+let bucket_index v = if v < 0 then 0 else if v >= 64 then n_buckets - 1 else v + 1
+let bucket_repr i = if i = 0 then -1 else if i = n_buckets - 1 then 64 else i - 1
+
+type item = C of counter | D of dist
+
+(* The registry lock guards only registration, snapshot and reset;
+   updates go straight to the atomics inside the handles. *)
+let lock = Mutex.create ()
+let registry : (string, item) Hashtbl.t = Hashtbl.create 32
+let enabled_flag = Atomic.make true
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let counter name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C c) -> c
+      | Some (D _) -> invalid_arg (Printf.sprintf "Counters.counter: %s is a distribution" name)
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add registry name (C c);
+        c)
+
+let fresh_dist () =
+  {
+    count = Atomic.make 0;
+    sum = Atomic.make 0;
+    mn = Atomic.make max_int;
+    mx = Atomic.make min_int;
+    buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+  }
+
+let dist name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (D d) -> d
+      | Some (C _) -> invalid_arg (Printf.sprintf "Counters.dist: %s is a counter" name)
+      | None ->
+        let d = fresh_dist () in
+        Hashtbl.add registry name (D d);
+        d)
+
+let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c n)
+let incr c = add c 1
+let value c = Atomic.get c
+
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let observe d v =
+  if Atomic.get enabled_flag then begin
+    Atomic.incr d.count;
+    ignore (Atomic.fetch_and_add d.sum v);
+    atomic_min d.mn v;
+    atomic_max d.mx v;
+    Atomic.incr d.buckets.(bucket_index v)
+  end
+
+type dist_stats = {
+  count : int;
+  sum : int;
+  min_v : int;
+  max_v : int;
+  buckets : (int * int) list;
+}
+
+let dist_stats (d : dist) =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    let c = Atomic.get d.buckets.(i) in
+    if c > 0 then buckets := (bucket_repr i, c) :: !buckets
+  done;
+  {
+    count = Atomic.get d.count;
+    sum = Atomic.get d.sum;
+    min_v = Atomic.get d.mn;
+    max_v = Atomic.get d.mx;
+    buckets = !buckets;
+  }
+
+type entry = Counter of int | Dist of dist_stats
+
+let entry_of = function C c -> Counter (value c) | D d -> Dist (dist_stats d)
+
+let snapshot () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold (fun name item acc -> (name, entry_of item) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find name =
+  Mutex.protect lock (fun () -> Hashtbl.find_opt registry name) |> Option.map entry_of
+
+let reset_item = function
+  | C c -> Atomic.set c 0
+  | D d ->
+    Atomic.set d.count 0;
+    Atomic.set d.sum 0;
+    Atomic.set d.mn max_int;
+    Atomic.set d.mx min_int;
+    Array.iter (fun b -> Atomic.set b 0) d.buckets
+
+let reset () = Mutex.protect lock (fun () -> Hashtbl.iter (fun _ item -> reset_item item) registry)
+let reset_counter c = Atomic.set c 0
+
+let render () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, e) ->
+      match e with
+      | Counter v -> Buffer.add_string b (Printf.sprintf "%-40s %d\n" name v)
+      | Dist s ->
+        if s.count = 0 then Buffer.add_string b (Printf.sprintf "%-40s count=0\n" name)
+        else
+          Buffer.add_string b
+            (Printf.sprintf "%-40s count=%d sum=%d min=%d max=%d mean=%.2f\n" name s.count s.sum
+               s.min_v s.max_v
+               (float_of_int s.sum /. float_of_int s.count)))
+    (snapshot ());
+  Buffer.contents b
+
+let to_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (name, e) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b (Printf.sprintf " \"%s\": " name);
+      match e with
+      | Counter v -> Buffer.add_string b (string_of_int v)
+      | Dist s ->
+        let mn = if s.count = 0 then 0 else s.min_v in
+        let mx = if s.count = 0 then 0 else s.max_v in
+        Buffer.add_string b
+          (Printf.sprintf "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d }" s.count s.sum
+             mn mx))
+    (snapshot ());
+  Buffer.add_string b " }";
+  Buffer.contents b

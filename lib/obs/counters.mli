@@ -1,0 +1,75 @@
+(** Process-wide registry of monotonic counters and value distributions.
+
+    Instrumentation sites hoist a handle once at module initialisation
+    ([let c = Counters.counter "resource.first_fit.probes"]) and then
+    update it with plain atomic operations — no table lookup, no lock on
+    the hot path, safe from any domain.  Collection is on by default
+    (an update is one or two [Atomic] operations) and can be switched
+    off entirely with {!set_enabled} to measure the floor.
+
+    Naming convention mirrors spans: [<subsystem>.<metric>], e.g.
+    [pipeline.memo.hit], [timing.extrapolated], [pool.queue_depth]
+    (see doc/observability.md for the full schema). *)
+
+type counter
+type dist
+
+(** [counter name] — find or register the monotonic counter [name].
+    Raises [Invalid_argument] if [name] is registered as a distribution. *)
+val counter : string -> counter
+
+(** [dist name] — find or register the distribution [name].  Raises
+    [Invalid_argument] if [name] is registered as a counter. *)
+val dist : string -> dist
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+(** [value c] — current value of [c]. *)
+val value : counter -> int
+
+(** [observe d v] records one sample.  Distributions keep count, sum,
+    min, max and a fixed histogram: one bucket per exact value in
+    [0..63], one for negatives, one for [>= 64]. *)
+val observe : dist -> int -> unit
+
+type dist_stats = {
+  count : int;
+  sum : int;
+  min_v : int;  (** meaningless when [count = 0] *)
+  max_v : int;  (** meaningless when [count = 0] *)
+  buckets : (int * int) list;
+      (** non-empty buckets as [(representative, count)]: [-1] stands
+          for "any negative value", [64] for "any value >= 64", other
+          representatives are the exact sample value *)
+}
+
+val dist_stats : dist -> dist_stats
+
+type entry = Counter of int | Dist of dist_stats
+
+(** [snapshot ()] — every registered metric, sorted by name. *)
+val snapshot : unit -> (string * entry) list
+
+(** [find name] — look a metric up by name. *)
+val find : string -> entry option
+
+(** [reset ()] zeroes every metric; existing handles remain valid. *)
+val reset : unit -> unit
+
+(** [reset_counter c] zeroes one counter (e.g. for scoped measurements). *)
+val reset_counter : counter -> unit
+
+(** [set_enabled b] — when off, {!incr}/{!add}/{!observe} are no-ops. *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** [render ()] — human-readable dump of {!snapshot}, one metric per
+    line, for the [--counters] CLI flags. *)
+val render : unit -> string
+
+(** [to_json ()] — {!snapshot} as one JSON object: counters as numbers,
+    distributions as [{"count","sum","min","max"}] objects (histogram
+    buckets are omitted to keep perf records small). *)
+val to_json : unit -> string

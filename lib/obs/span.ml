@@ -1,0 +1,103 @@
+type event = {
+  name : string;
+  args : (string * string) list;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+}
+
+let enabled_flag = Atomic.make false
+let lock = Mutex.create ()
+
+(* Completion-ordered event log and the trace epoch, both under [lock];
+   [epoch] is written once (first enable) and read without the lock on
+   the hot path — a benign race, since enabling happens-before any span
+   that observes [enabled_flag]. *)
+let log : event list ref = ref []
+let epoch = ref 0.0
+
+let set_enabled b =
+  Mutex.protect lock (fun () -> if b && !epoch = 0.0 then epoch := Unix.gettimeofday ());
+  Atomic.set enabled_flag b
+
+let enabled () = Atomic.get enabled_flag
+
+let record ev = Mutex.protect lock (fun () -> log := ev :: !log)
+
+let with_ ~name ?(args = []) f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Unix.gettimeofday () in
+        record
+          {
+            name;
+            args;
+            ts_us = (t0 -. !epoch) *. 1e6;
+            dur_us = (t1 -. t0) *. 1e6;
+            tid = (Domain.self () :> int);
+          })
+      f
+  end
+
+let reset () = Mutex.protect lock (fun () -> log := [])
+let events () = Mutex.protect lock (fun () -> List.rev !log)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let export_json () =
+  let evs = events () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_string b ",";
+    Buffer.add_string b "\n  ";
+    Buffer.add_string b s
+  in
+  (* One thread_name metadata event per domain seen, so Perfetto labels
+     the lanes. *)
+  let tids = List.sort_uniq compare (List.map (fun e -> e.tid) evs) in
+  List.iter
+    (fun tid ->
+      emit
+        (Printf.sprintf
+           "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"args\": \
+            {\"name\": \"domain-%d\"}}"
+           tid tid))
+    tids;
+  List.iter
+    (fun e ->
+      let args =
+        e.args
+        |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+        |> String.concat ", "
+      in
+      emit
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"cat\": \"isched\", \"ph\": \"X\", \"pid\": 1, \"tid\": %d, \
+            \"ts\": %.3f, \"dur\": %.3f, \"args\": {%s}}"
+           (json_escape e.name) e.tid e.ts_us e.dur_us args))
+    evs;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (export_json ()))

@@ -1,0 +1,47 @@
+(** Structured tracing: nested timed spans with a Chrome/Perfetto
+    [trace_event] JSON exporter.
+
+    Tracing is off by default and {!with_} then degrades to calling the
+    thunk directly (one atomic read of overhead), so instrumentation can
+    stay in the hot path permanently.  When enabled, every span records
+    its wall-clock interval and the domain it ran on; spans emitted
+    concurrently from {!Isched_util.Pool} workers land in per-domain
+    lanes ([tid] = domain id) and nest by time containment, which is
+    exactly how Perfetto renders "X" (complete) events.
+
+    Span naming convention (see doc/observability.md):
+    [<subsystem>.<operation>], e.g. [pipeline.prepare], [sched.list],
+    [pool.task], [sim.timing]. *)
+
+type event = {
+  name : string;
+  args : (string * string) list;
+  ts_us : float;  (** start, microseconds since the trace epoch *)
+  dur_us : float;  (** duration in microseconds *)
+  tid : int;  (** id of the domain the span ran on *)
+}
+
+(** [set_enabled b] turns recording on or off process-wide.  The first
+    enable fixes the trace epoch. *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** [with_ ~name ?args f] runs [f ()]; when tracing is enabled the
+    interval is recorded as a span (also on exceptions).  Safe to call
+    from any domain. *)
+val with_ : name:string -> ?args:(string * string) list -> (unit -> 'a) -> 'a
+
+(** [reset ()] drops every recorded event (the epoch is kept). *)
+val reset : unit -> unit
+
+(** [events ()] — the recorded spans, in completion order. *)
+val events : unit -> event list
+
+(** [export_json ()] — the trace as a Chrome [trace_event] JSON object
+    ({["{\"traceEvents\": [...]}"]}), loadable in Perfetto / chrome://tracing.
+    Includes [thread_name] metadata so each domain shows as its own lane. *)
+val export_json : unit -> string
+
+(** [write_file path] — {!export_json} to [path]. *)
+val write_file : string -> unit

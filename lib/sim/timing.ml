@@ -1,5 +1,17 @@
 module Program = Isched_ir.Program
 module Instr = Isched_ir.Instr
+module Span = Isched_obs.Span
+module Counters = Isched_obs.Counters
+
+(* Fast-path accounting: [timing.extrapolated] counts simulations that
+   detected a steady state and wrote the tail closed-form,
+   [timing.full_sim] those that simulated every iteration (including
+   runs where extrapolation was disabled or structurally unusable);
+   [timing.extrapolated_iters] is how many iterations the fast path
+   skipped. *)
+let c_extrapolated = Counters.counter "timing.extrapolated"
+let c_full_sim = Counters.counter "timing.full_sim"
+let c_saved_iters = Counters.counter "timing.extrapolated_iters"
 
 type result = {
   finish : int;
@@ -23,7 +35,7 @@ type assignment = [ `Cyclic | `Block ]
    which makes the extrapolation exact, not approximate (cross-checked
    against the full simulation in test_sim). *)
 
-let run_rows ?n_procs ?(assignment = `Cyclic) ?(extrapolate = true) (p : Program.t) rows =
+let run_rows_inner ?n_procs ?(assignment = `Cyclic) ?(extrapolate = true) (p : Program.t) rows =
   let n = p.Program.n_iters in
   let n_procs = match n_procs with None -> n | Some np -> np in
   if n_procs < 1 then invalid_arg "Timing.run_rows: n_procs must be >= 1";
@@ -165,6 +177,11 @@ let run_rows ?n_procs ?(assignment = `Cyclic) ?(extrapolate = true) (p : Program
       let proc_free = match prev_on_proc k with Some j -> finish_at.(j) | None -> 0 in
       stall_of.(k) <- finish_at.(k) - proc_free - n_rows
     done);
+  (match !stable_at with
+  | Some k_s ->
+    Counters.incr c_extrapolated;
+    Counters.add c_saved_iters (n - 1 - k_s)
+  | None -> Counters.incr c_full_sim);
   let finish = ref 0 in
   let stalls = ref 0 in
   for k = 0 to n - 1 do
@@ -179,6 +196,13 @@ let run_rows ?n_procs ?(assignment = `Cyclic) ?(extrapolate = true) (p : Program
     stall_cycles = !stalls;
     extrapolated_from = !stable_at;
   }
+
+let run_rows ?n_procs ?assignment ?extrapolate (p : Program.t) rows =
+  if Span.enabled () then
+    Span.with_ ~name:"sim.timing"
+      ~args:[ ("prog", p.Program.name); ("n_iters", string_of_int p.Program.n_iters) ]
+      (fun () -> run_rows_inner ?n_procs ?assignment ?extrapolate p rows)
+  else run_rows_inner ?n_procs ?assignment ?extrapolate p rows
 
 let run ?n_procs ?assignment ?extrapolate (s : Isched_core.Schedule.t) =
   run_rows ?n_procs ?assignment ?extrapolate s.Isched_core.Schedule.prog s.Isched_core.Schedule.rows

@@ -58,3 +58,7 @@ let pp_annotated ppf (l : Ast.loop) t =
         t.signals)
     l.body;
   Format.fprintf ppf "END_DOACROSS@."
+
+(* Observability shadow: the exported [build] is the traced one (the
+   "partition" stage of the pipeline — sync pairs chosen per loop). *)
+let build l = Isched_obs.Span.with_ ~name:"sync.plan" (fun () -> build l)

@@ -254,3 +254,6 @@ let run (l : Ast.loop) =
       end)
     (scalars_written !loop);
   { loop = !loop; actions = List.rev !actions }
+
+(* Observability shadow: the exported [run] is the traced one. *)
+let run l = Isched_obs.Span.with_ ~name:"transform.restructure" (fun () -> run l)

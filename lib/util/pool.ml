@@ -1,3 +1,18 @@
+module Span = Isched_obs.Span
+module Counters = Isched_obs.Counters
+
+(* Pool observability: how much work went through the pool, how deep
+   the pending-task queue was when each task was grabbed, and how evenly
+   the tasks spread over the workers ([pool.worker_tasks] gets one
+   sample per worker per run — a tight distribution means good
+   utilisation).  All cover the parallel path only; the [jobs <= 1]
+   degenerate path is plain [List.map]. *)
+let c_runs = Counters.counter "pool.runs"
+let c_tasks = Counters.counter "pool.tasks"
+let c_domains = Counters.counter "pool.domains_spawned"
+let d_queue_depth = Counters.dist "pool.queue_depth"
+let d_worker_tasks = Counters.dist "pool.worker_tasks"
+
 let default = ref 1
 
 let set_default_jobs n =
@@ -16,17 +31,29 @@ let run_indexed ~jobs f (items : 'a array) : 'b array =
   let n = Array.length items in
   let results : 'b outcome option array = Array.make n None in
   let next = Atomic.make 0 in
+  let run_task i x =
+    if Span.enabled () then
+      Span.with_ ~name:"pool.task" ~args:[ ("index", string_of_int i) ] (fun () -> f i x)
+    else f i x
+  in
   let worker () =
+    let executed = ref 0 in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        results.(i) <- Some (try Done (f i items.(i)) with e -> Failed e);
+        Counters.incr c_tasks;
+        Counters.observe d_queue_depth (n - i);
+        incr executed;
+        results.(i) <- Some (try Done (run_task i items.(i)) with e -> Failed e);
         loop ()
       end
     in
-    loop ()
+    loop ();
+    Counters.observe d_worker_tasks !executed
   in
   let n_domains = min (jobs - 1) (n - 1) in
+  Counters.incr c_runs;
+  Counters.add c_domains n_domains;
   let domains = Array.init n_domains (fun _ -> Domain.spawn worker) in
   worker ();
   Array.iter Domain.join domains;

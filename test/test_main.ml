@@ -2,6 +2,7 @@ let () =
   Alcotest.run "isched"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("ir", Test_ir.suite);
       ("frontend", Test_frontend.suite);
       ("deps", Test_deps.suite);

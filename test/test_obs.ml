@@ -1,0 +1,306 @@
+(* Tests for the observability layer: span recording and export,
+   counter/distribution semantics, and domain-safety of both. *)
+
+module Span = Isched_obs.Span
+module Counters = Isched_obs.Counters
+
+let check = Alcotest.check
+
+(* A minimal strict JSON parser — enough to assert that the exported
+   trace is well-formed (what Perfetto requires before it renders
+   anything).  Raises [Failure] on any malformation. *)
+module Json = struct
+  let parse (s : string) =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = failwith (Printf.sprintf "json: %s at %d" msg !pos) in
+    let peek () = if !pos >= n then fail "eof" else s.[!pos] in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) then begin
+        advance ();
+        skip_ws ()
+      end
+    in
+    let expect c = if peek () <> c then fail (Printf.sprintf "expected %c" c) else advance () in
+    let parse_lit lit =
+      String.iter (fun c -> if peek () <> c then fail ("bad literal " ^ lit) else advance ()) lit
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> advance ()
+          | 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              (match peek () with
+              | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+              | _ -> fail "bad \\u escape");
+              advance ()
+            done
+          | _ -> fail "bad escape");
+          go ()
+        | c when Char.code c < 0x20 -> fail "raw control char in string"
+        | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = '-' then advance ();
+      while
+        !pos < n
+        && match s.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
+      do
+        advance ()
+      done;
+      if !pos = start then fail "bad number";
+      ignore (float_of_string (String.sub s start (!pos - start)))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then advance ()
+        else
+          let rec members () =
+            skip_ws ();
+            ignore (parse_string ());
+            skip_ws ();
+            expect ':';
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              advance ();
+              members ()
+            | '}' -> advance ()
+            | _ -> fail "expected , or }"
+          in
+          members ()
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then advance ()
+        else
+          let rec elements () =
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              advance ();
+              elements ()
+            | ']' -> advance ()
+            | _ -> fail "expected , or ]"
+          in
+          elements ()
+      | '"' -> ignore (parse_string ())
+      | 't' -> parse_lit "true"
+      | 'f' -> parse_lit "false"
+      | 'n' -> parse_lit "null"
+      | _ -> parse_number ()
+    in
+    parse_value ();
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage"
+end
+
+(* Every test runs against the process-wide singletons, so each starts
+   from a clean slate. *)
+let fresh () =
+  Span.set_enabled false;
+  Span.reset ();
+  Counters.set_enabled true;
+  Counters.reset ()
+
+(* --- spans --- *)
+
+let test_span_disabled_records_nothing () =
+  fresh ();
+  let r = Span.with_ ~name:"nothing" (fun () -> 41 + 1) in
+  check Alcotest.int "result passes through" 42 r;
+  check Alcotest.int "no events" 0 (List.length (Span.events ()))
+
+let test_span_records_when_enabled () =
+  fresh ();
+  Span.set_enabled true;
+  ignore (Span.with_ ~name:"outer" ~args:[ ("k", "v") ] (fun () -> Span.with_ ~name:"inner" Fun.id));
+  Span.set_enabled false;
+  match Span.events () with
+  | [ inner; outer ] ->
+    (* Completion order: the inner span finishes first. *)
+    check Alcotest.string "inner name" "inner" inner.Span.name;
+    check Alcotest.string "outer name" "outer" outer.Span.name;
+    check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string)) "args kept" [ ("k", "v") ]
+      outer.Span.args;
+    Alcotest.(check bool) "inner nested in outer" true
+      (inner.Span.ts_us >= outer.Span.ts_us
+      && inner.Span.ts_us +. inner.Span.dur_us <= outer.Span.ts_us +. outer.Span.dur_us +. 0.001)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_span_survives_exception () =
+  fresh ();
+  Span.set_enabled true;
+  (try Span.with_ ~name:"boom" (fun () -> failwith "x") with Failure _ -> ());
+  Span.set_enabled false;
+  check Alcotest.int "span recorded despite raise" 1 (List.length (Span.events ()))
+
+let test_span_export_is_valid_json () =
+  fresh ();
+  Span.set_enabled true;
+  ignore
+    (Span.with_ ~name:{|tricky "name"
+with newline\and backslash|}
+       ~args:[ ("arg\twith\ttabs", "va\"lue") ]
+       (fun () -> ()));
+  Span.set_enabled false;
+  let json = Span.export_json () in
+  (try Json.parse json with Failure m -> Alcotest.failf "export not valid JSON: %s" m);
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "has traceEvents key" true (contains "\"traceEvents\"" json)
+
+let test_span_reset () =
+  fresh ();
+  Span.set_enabled true;
+  ignore (Span.with_ ~name:"a" Fun.id);
+  Span.reset ();
+  check Alcotest.int "reset drops events" 0 (List.length (Span.events ()));
+  Span.set_enabled false
+
+(* --- counters --- *)
+
+let test_counter_basics () =
+  fresh ();
+  let c = Counters.counter "test.basic" in
+  check Alcotest.int "starts at 0" 0 (Counters.value c);
+  Counters.incr c;
+  Counters.add c 10;
+  check Alcotest.int "incr + add" 11 (Counters.value c);
+  let c' = Counters.counter "test.basic" in
+  Counters.incr c';
+  check Alcotest.int "same name, same counter" 12 (Counters.value c)
+
+let test_counter_disabled () =
+  fresh ();
+  let c = Counters.counter "test.disabled" in
+  Counters.set_enabled false;
+  Counters.incr c;
+  Counters.add c 5;
+  Counters.set_enabled true;
+  check Alcotest.int "no-ops while disabled" 0 (Counters.value c)
+
+let test_dist_stats () =
+  fresh ();
+  let d = Counters.dist "test.dist" in
+  List.iter (Counters.observe d) [ 3; -2; 7; 3; 100 ];
+  let s = Counters.dist_stats d in
+  check Alcotest.int "count" 5 s.Counters.count;
+  check Alcotest.int "sum" 111 s.Counters.sum;
+  check Alcotest.int "min" (-2) s.Counters.min_v;
+  check Alcotest.int "max" 100 s.Counters.max_v;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "buckets: negatives at -1, exacts, overflow at 64"
+    [ (-1, 1); (3, 2); (7, 1); (64, 1) ]
+    s.Counters.buckets
+
+let test_registry_kind_conflict () =
+  fresh ();
+  ignore (Counters.counter "test.kind");
+  Alcotest.check_raises "dist on a counter name"
+    (Invalid_argument "Counters.dist: test.kind is a counter") (fun () ->
+      ignore (Counters.dist "test.kind"))
+
+let test_snapshot_sorted_and_complete () =
+  fresh ();
+  ignore (Counters.counter "test.zz");
+  ignore (Counters.counter "test.aa");
+  let names = List.map fst (Counters.snapshot ()) in
+  Alcotest.(check bool) "sorted" true (names = List.sort compare names);
+  Alcotest.(check bool) "contains both" true
+    (List.mem "test.aa" names && List.mem "test.zz" names);
+  (match Counters.find "test.aa" with
+  | Some (Counters.Counter 0) -> ()
+  | _ -> Alcotest.fail "find test.aa");
+  check (Alcotest.option Alcotest.reject) "find unknown" None
+    (Counters.find "test.does-not-exist")
+
+let test_reset_keeps_handles () =
+  fresh ();
+  let c = Counters.counter "test.reset" in
+  let d = Counters.dist "test.reset.d" in
+  Counters.add c 7;
+  Counters.observe d 1;
+  Counters.reset ();
+  check Alcotest.int "counter zeroed" 0 (Counters.value c);
+  check Alcotest.int "dist zeroed" 0 (Counters.dist_stats d).Counters.count;
+  Counters.incr c;
+  check Alcotest.int "handle still live" 1 (Counters.value c)
+
+let test_counters_json_valid () =
+  fresh ();
+  let c = Counters.counter "test.json" in
+  Counters.add c 3;
+  Counters.observe (Counters.dist "test.json.d") 5;
+  let json = Counters.to_json () in
+  try Json.parse json with Failure m -> Alcotest.failf "to_json not valid JSON: %s" m
+
+(* --- domain safety --- *)
+
+let test_domain_safety () =
+  fresh ();
+  Span.set_enabled true;
+  let c = Counters.counter "test.domains" in
+  let d = Counters.dist "test.domains.d" in
+  let per_domain = 5_000 in
+  let work () =
+    for i = 1 to per_domain do
+      Counters.incr c;
+      Counters.observe d (i mod 7);
+      if i mod 1000 = 0 then ignore (Span.with_ ~name:"test.domain-span" Fun.id)
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn work) in
+  work ();
+  Array.iter Domain.join domains;
+  Span.set_enabled false;
+  check Alcotest.int "no lost increments" (5 * per_domain) (Counters.value c);
+  let s = Counters.dist_stats d in
+  check Alcotest.int "no lost observations" (5 * per_domain) s.Counters.count;
+  check Alcotest.int "all spans recorded" (5 * (per_domain / 1000))
+    (List.length (Span.events ()));
+  try Json.parse (Span.export_json ())
+  with Failure m -> Alcotest.failf "concurrent export not valid JSON: %s" m
+
+let suite =
+  [
+    Alcotest.test_case "span: disabled records nothing" `Quick test_span_disabled_records_nothing;
+    Alcotest.test_case "span: records nested spans with args" `Quick test_span_records_when_enabled;
+    Alcotest.test_case "span: recorded despite exceptions" `Quick test_span_survives_exception;
+    Alcotest.test_case "span: export is valid trace_event JSON" `Quick test_span_export_is_valid_json;
+    Alcotest.test_case "span: reset drops events" `Quick test_span_reset;
+    Alcotest.test_case "counters: incr/add/value and handle identity" `Quick test_counter_basics;
+    Alcotest.test_case "counters: disabled means no-op" `Quick test_counter_disabled;
+    Alcotest.test_case "counters: distribution stats and buckets" `Quick test_dist_stats;
+    Alcotest.test_case "counters: name/kind conflicts rejected" `Quick test_registry_kind_conflict;
+    Alcotest.test_case "counters: snapshot sorted, find works" `Quick test_snapshot_sorted_and_complete;
+    Alcotest.test_case "counters: reset keeps handles valid" `Quick test_reset_keeps_handles;
+    Alcotest.test_case "counters: to_json is valid JSON" `Quick test_counters_json_valid;
+    Alcotest.test_case "obs: counters and spans are domain-safe" `Quick test_domain_safety;
+  ]

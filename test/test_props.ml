@@ -277,6 +277,52 @@ let prop_stress_large =
           | Error _ -> false))
       | _ -> false)
 
+let prop_all_schedulers_correct =
+  qtest ~count:40 "pipeline: every exposed scheduler executes correctly" gen_loop_machine
+    (fun (l, m) ->
+      match prepare l with
+      | Pipeline.Doall _ -> true
+      | Pipeline.Doacross { prog; _ } as p ->
+        List.for_all
+          (fun which ->
+            let s = Pipeline.schedule p m which in
+            match Isched_harness.Equivalence.check_schedule prog s with
+            | Ok () -> true
+            | Error _ -> false)
+          Pipeline.all_schedulers)
+
+let prop_tracing_inert =
+  qtest ~count:40 "observability: tracing and counters never change results" gen_loop_machine
+    (fun (l, m) ->
+      let run () =
+        match prepare l with
+        | Pipeline.Doall _ -> None
+        | Pipeline.Doacross _ as p ->
+          Some
+            (List.map
+               (fun which -> (Pipeline.schedule p m which, Pipeline.loop_time p m which))
+               Pipeline.all_schedulers)
+      in
+      let plain = run () in
+      let traced =
+        Fun.protect
+          ~finally:(fun () ->
+            Isched_obs.Span.set_enabled false;
+            Isched_obs.Span.reset ();
+            Isched_obs.Counters.set_enabled true)
+          (fun () ->
+            Isched_obs.Span.set_enabled true;
+            run ())
+      in
+      let counters_off =
+        Fun.protect
+          ~finally:(fun () -> Isched_obs.Counters.set_enabled true)
+          (fun () ->
+            Isched_obs.Counters.set_enabled false;
+            run ())
+      in
+      plain = traced && plain = counters_off)
+
 let suite =
   [
     prop_compile_validates;
@@ -298,4 +344,6 @@ let suite =
     prop_procs_monotone;
     prop_modulo_valid;
     prop_stress_large;
+    prop_all_schedulers_correct;
+    prop_tracing_inert;
   ]

@@ -136,6 +136,69 @@ let test_timing_extrapolation_fires () =
     (fast4.Timing.extrapolated_from <> None);
   same_result "n=5000 chain, 4 procs" (Timing.run ~n_procs:4 ~extrapolate:false s) fast4
 
+(* Steady-state boundary cases.  [Program.validate] rejects trip counts
+   below 1, so the n=0 record is built directly and driven through
+   [run_rows]. *)
+
+let chain_rows n_iters =
+  let p = compile ~n_iters:(max n_iters 1) "DOACROSS I = 1, 100\n A[I] = A[I-1] + E[I]\nENDDO" in
+  let n = Array.length p.Program.body in
+  ({ p with Program.n_iters }, Array.init n (fun i -> [| i |]))
+
+let test_timing_boundary_zero_iters () =
+  let p, rows = chain_rows 0 in
+  (* The default pool is one processor per iteration — zero of them. *)
+  Alcotest.check_raises "default pool of zero rejected"
+    (Invalid_argument "Timing.run_rows: n_procs must be >= 1") (fun () ->
+      ignore (Timing.run_rows p rows));
+  let t = Timing.run_rows ~n_procs:1 p rows in
+  check Alcotest.int "finish" 0 t.Timing.finish;
+  check Alcotest.int "stalls" 0 t.Timing.stall_cycles;
+  check Alcotest.(array int) "no starts" [||] t.Timing.iteration_starts;
+  check Alcotest.(array int) "no finishes" [||] t.Timing.iteration_finishes;
+  check Alcotest.(option int) "nothing to extrapolate" None t.Timing.extrapolated_from
+
+let test_timing_boundary_one_iter () =
+  let p, rows = chain_rows 1 in
+  let t = Timing.run_rows p rows in
+  check Alcotest.(option int) "single iteration never extrapolates" None
+    t.Timing.extrapolated_from;
+  same_result "n=1" (Timing.run_rows ~extrapolate:false p rows) t;
+  check Alcotest.int "one iteration, no cross-iteration stall" 0 t.Timing.stall_cycles
+
+let test_timing_boundary_below_period () =
+  (* Cyclic pool of 8 over 10 iterations: the recurrence period is the
+     pool size, and 10 iterations cannot cover guard + window + period,
+     so the fast path must decline (and still agree with the oracle). *)
+  let p, rows = chain_rows 10 in
+  let t = Timing.run_rows ~n_procs:8 p rows in
+  check Alcotest.(option int) "trip count below the period: full sim" None
+    t.Timing.extrapolated_from;
+  same_result "n=10 procs=8" (Timing.run_rows ~n_procs:8 ~extrapolate:false p rows) t
+
+let test_timing_boundary_unusable_period () =
+  (* A cyclic pool of 600 puts the period past the 512 cap: the fast
+     path is structurally unusable however long the loop runs.  The
+     fallback is observable through the [timing.full_sim] counter. *)
+  let p, rows = chain_rows 2000 in
+  let c_full = Isched_obs.Counters.counter "timing.full_sim" in
+  let c_extra = Isched_obs.Counters.counter "timing.extrapolated" in
+  let full0 = Isched_obs.Counters.value c_full in
+  let extra0 = Isched_obs.Counters.value c_extra in
+  let t = Timing.run_rows ~n_procs:600 p rows in
+  check Alcotest.(option int) "never stabilises" None t.Timing.extrapolated_from;
+  check Alcotest.int "full-sim fallback counted" (full0 + 1)
+    (Isched_obs.Counters.value c_full);
+  check Alcotest.int "not counted as extrapolated" extra0
+    (Isched_obs.Counters.value c_extra);
+  same_result "n=2000 procs=600" (Timing.run_rows ~n_procs:600 ~extrapolate:false p rows) t;
+  (* Same trip count with a small pool does stabilise — the cap, not the
+     loop, is what blocked the fast path above. *)
+  let t4 = Timing.run_rows ~n_procs:4 p rows in
+  Alcotest.(check bool) "small pool extrapolates" true (t4.Timing.extrapolated_from <> None);
+  check Alcotest.int "extrapolation counted" (extra0 + 1)
+    (Isched_obs.Counters.value c_extra)
+
 (* --- value simulation --- *)
 
 let expect_equiv src =
@@ -239,6 +302,10 @@ let suite =
       `Slow,
       test_timing_extrapolation_matches_full );
     ("timing: extrapolation engages on long runs", `Quick, test_timing_extrapolation_fires);
+    ("timing: boundary, zero iterations", `Quick, test_timing_boundary_zero_iters);
+    ("timing: boundary, one iteration", `Quick, test_timing_boundary_one_iter);
+    ("timing: boundary, trip count below the period", `Quick, test_timing_boundary_below_period);
+    ("timing: boundary, period past the cap falls back", `Quick, test_timing_boundary_unusable_period);
     ("value: Fig. 1 is exact", `Quick, test_value_fig1);
     ("value: multiplicative recurrence", `Quick, test_value_recurrence);
     ("value: guarded recurrence", `Quick, test_value_guard);
