@@ -338,6 +338,112 @@ let viz_cmd =
       const run $ obs_term $ file_arg $ restructure_flag $ machine_term $ unroll_arg $ nprocs_arg
       $ scheduler_arg $ out)
 
+(* --- check --- *)
+
+let check_cmd =
+  let module Check = Isched_check.Oracle in
+  let module Inject = Isched_check.Inject in
+  let module Pipeline = Isched_harness.Pipeline in
+  (* One loop's report: built as data so the pool can fan loops across
+     domains while the printed order stays the input order. *)
+  let check_loop machine which inject (l : Isched_frontend.Ast.loop) =
+    let name = l.Isched_frontend.Ast.name in
+    let lines = ref [] in
+    let fails = ref 0 in
+    let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+    (match Pipeline.prepare l with
+    | Pipeline.Doall _ -> add "DOALL after restructuring - no schedule to check"
+    | Pipeline.Doacross { graph; _ } ->
+      let scheds = match which with None -> [ Sched_list; Sched_marker; Sched_new ] | Some w -> [ w ] in
+      List.iter
+        (fun w ->
+          let s = run_scheduler w graph machine in
+          match Check.check_schedule ~graph s with
+          | Ok () -> add "%s: ok (static + differential)" (scheduler_title w)
+          | Error msgs ->
+            incr fails;
+            add "%s: INVALID" (scheduler_title w);
+            List.iter (fun m -> add "  %s" m) msgs)
+        scheds;
+      (if which = None then
+         let t = Isched_core.Modulo_sched.run graph machine in
+         match Isched_core.Modulo_sched.validate t graph with
+         | Ok () -> add "modulo scheduling: ok (II=%d)" t.Isched_core.Modulo_sched.ii
+         | Error msg ->
+           incr fails;
+           add "modulo scheduling: INVALID - %s" msg);
+      if inject then
+        List.iter
+          (fun w ->
+            let s = run_scheduler w graph machine in
+            List.iter
+              (fun (o : Inject.outcome) ->
+                if not o.Inject.injected then
+                  add "[inject] %s under %s: no opportunity" (Inject.name o.Inject.fault)
+                    (scheduler_title w)
+                else if o.Inject.detected then
+                  add "[inject] %s under %s: detected (%d violation(s))" (Inject.name o.Inject.fault)
+                    (scheduler_title w)
+                    (List.length o.Inject.violations)
+                else begin
+                  incr fails;
+                  add "[inject] %s under %s: MISSED - checker bug" (Inject.name o.Inject.fault)
+                    (scheduler_title w)
+                end)
+              (Inject.campaign ~graph s))
+          scheds);
+    (name, List.rev !lines, !fails)
+  in
+  let run () () file corpus machine which inject =
+    let loops =
+      (match file with Some f -> load_loops f | None -> [])
+      @
+      if corpus then
+        List.concat_map
+          (fun (b : Isched_perfect.Suite.benchmark) -> b.Isched_perfect.Suite.loops)
+          (Isched_perfect.Suite.all ())
+      else []
+    in
+    if loops = [] then begin
+      prerr_endline "ischedc check: nothing to check (give FILE and/or --corpus)";
+      exit 2
+    end;
+    let reports = Isched_util.Pool.map (check_loop machine which inject) loops in
+    let total_fails =
+      List.fold_left
+        (fun acc (name, lines, fails) ->
+          Format.printf "=== loop %s ===@." name;
+          List.iter (fun s -> Format.printf "  %s@." s) lines;
+          acc + fails)
+        0 reports
+    in
+    if total_fails > 0 then begin
+      Format.printf "check: %d FAILURE(S) over %d loop(s)@." total_fails (List.length loops);
+      exit 1
+    end
+    else Format.printf "check: all %d loop(s) clean@." (List.length loops)
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-Fortran source file.")
+  in
+  let corpus =
+    Arg.(value & flag & info [ "corpus" ]
+           ~doc:"Also check every loop of the five Perfect-surrogate seed corpora.")
+  in
+  let inject =
+    Arg.(value & flag & info [ "inject" ]
+           ~doc:"Fault-injection mode: corrupt each schedule in every violation class (stale-data \
+                 hoist, premature send, dropped dependence arc, FU/issue over-subscription) and \
+                 fail unless the checker detects every one.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Verify schedule validity (sync conditions, dependence arcs, resources, LBD \
+             accounting) and run the differential oracle against the sequential reference; \
+             non-zero exit on any violation.")
+    Term.(
+      const run $ obs_term $ jobs_arg $ file $ corpus $ machine_term $ scheduler_arg $ inject)
+
 (* --- example --- *)
 
 let example_cmd =
@@ -386,6 +492,6 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            compile_cmd; deps_cmd; dfg_cmd; sched_cmd; sim_cmd; asm_cmd; viz_cmd; example_cmd;
-            tables_cmd;
+            compile_cmd; deps_cmd; dfg_cmd; sched_cmd; sim_cmd; check_cmd; asm_cmd; viz_cmd;
+            example_cmd; tables_cmd;
           ]))

@@ -1,0 +1,144 @@
+module Schedule = Isched_core.Schedule
+module Dfg = Isched_dfg.Dfg
+module Program = Isched_ir.Program
+module Machine = Isched_ir.Machine
+module Instr = Isched_ir.Instr
+module Fu = Isched_ir.Fu
+module Span = Isched_obs.Span
+module Counters = Isched_obs.Counters
+
+let c_injected = Counters.counter "check.inject.injected"
+let c_detected = Counters.counter "check.inject.detected"
+let c_missed = Counters.counter "check.inject.missed"
+
+type fault = Hoist_wait | Premature_send | Drop_arc | Double_book_fu | Overflow_issue
+
+let all = [ Hoist_wait; Premature_send; Drop_arc; Double_book_fu; Overflow_issue ]
+
+let name = function
+  | Hoist_wait -> "hoist-wait-past-sink"
+  | Premature_send -> "premature-send"
+  | Drop_arc -> "drop-dependence-arc"
+  | Double_book_fu -> "double-book-fu"
+  | Overflow_issue -> "overflow-issue-width"
+
+let detects fault (v : Violation.t) =
+  match (fault, v) with
+  | Hoist_wait, Violation.Hoisted_sink _ -> true
+  | Premature_send, Violation.Premature_send _ -> true
+  | Drop_arc, Violation.Broken_arc { kind = Dfg.Data | Dfg.Mem; _ } -> true
+  | Double_book_fu, Violation.Fu_overflow _ -> true
+  | Overflow_issue, Violation.Issue_overflow _ -> true
+  | _ -> false
+
+let rebuilt (s : Schedule.t) cycle_of = Schedule.of_cycles s.Schedule.prog s.Schedule.machine cycle_of
+
+let inject fault (s : Schedule.t) =
+  let p = s.Schedule.prog in
+  let cycle_of () = Array.copy s.Schedule.cycle_of in
+  match fault with
+  | Hoist_wait ->
+    (* The motivating bug of the paper's Section 1: the sink memory
+       operation runs no later than its wait, so it can read data the
+       producing iteration has not signalled yet. *)
+    if Array.length p.Program.waits = 0 then None
+    else begin
+      let w = p.Program.waits.(0) in
+      let c = cycle_of () in
+      c.(w.Program.snk_instr) <- c.(w.Program.wait_instr);
+      Some (rebuilt s c)
+    end
+  | Premature_send ->
+    if Array.length p.Program.signals = 0 then None
+    else begin
+      let si = p.Program.signals.(0) in
+      let c = cycle_of () in
+      c.(si.Program.send_instr) <- max 0 (c.(si.Program.src_instr) - 1);
+      Some (rebuilt s c)
+    end
+  | Drop_arc -> (
+    (* Violate the first data/memory arc, exactly what a scheduler fed a
+       graph missing that arc could produce. *)
+    let g = Dfg.build p in
+    let found = ref None in
+    Array.iter
+      (fun arcs ->
+        List.iter
+          (fun (a : Dfg.arc) ->
+            match a.Dfg.kind with
+            | (Dfg.Data | Dfg.Mem) when !found = None -> found := Some a
+            | _ -> ())
+          arcs)
+      g.Dfg.succs;
+    match !found with
+    | None -> None
+    | Some a ->
+      let c = cycle_of () in
+      c.(a.Dfg.dst) <- c.(a.Dfg.src);
+      Some (rebuilt s c))
+  | Double_book_fu -> (
+    let m = s.Schedule.machine in
+    (* The first unit kind with more users than copies: schedule one
+       more user than the machine has units onto the same cycle. *)
+    let users = Array.make Fu.count [] in
+    Array.iteri
+      (fun i ins ->
+        match Instr.fu ins with
+        | Some k -> users.(Fu.index k) <- i :: users.(Fu.index k)
+        | None -> ())
+      p.Program.body;
+    let pick =
+      List.find_opt
+        (fun kind -> List.length users.(Fu.index kind) > Machine.fu_count m kind)
+        Fu.all
+    in
+    match pick with
+    | None -> None
+    | Some kind ->
+      let avail = Machine.fu_count m kind in
+      let victims = List.filteri (fun i _ -> i <= avail) users.(Fu.index kind) in
+      let c = cycle_of () in
+      let target = List.fold_left (fun acc i -> max acc c.(i)) 0 victims in
+      List.iter (fun i -> c.(i) <- target) victims;
+      Some (rebuilt s c))
+  | Overflow_issue ->
+    let n = Array.length p.Program.body in
+    let width = s.Schedule.machine.Machine.issue_width in
+    if n <= width then None
+    else begin
+      let c = cycle_of () in
+      for i = 0 to width do
+        c.(i) <- 0
+      done;
+      Some (rebuilt s c)
+    end
+
+type outcome = {
+  fault : fault;
+  injected : bool;
+  detected : bool;
+  violations : Violation.t list;
+}
+
+let campaign_inner ?graph (s : Schedule.t) =
+  let graph = match graph with Some g -> g | None -> Dfg.build s.Schedule.prog in
+  List.map
+    (fun fault ->
+      match inject fault s with
+      | None -> { fault; injected = false; detected = false; violations = [] }
+      | Some corrupted ->
+        Counters.incr c_injected;
+        let violations =
+          match Static.check ~graph corrupted with Ok () -> [] | Error vs -> vs
+        in
+        let detected = List.exists (detects fault) violations in
+        Counters.incr (if detected then c_detected else c_missed);
+        { fault; injected = true; detected; violations })
+    all
+
+let campaign ?graph s =
+  if Span.enabled () then
+    Span.with_ ~name:"check.inject"
+      ~args:[ ("prog", s.Schedule.prog.Program.name) ]
+      (fun () -> campaign_inner ?graph s)
+  else campaign_inner ?graph s

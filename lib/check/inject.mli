@@ -1,0 +1,42 @@
+(** Fault injection for the checker: deliberately corrupt a valid
+    schedule in each violation class and prove the static analyzer
+    catches it.  This is the checker's own differential test — a checker
+    that misses an injected stale-data hoist is worse than none.
+
+    Each fault is a minimal, targeted corruption built by editing the
+    issue cycles and re-running {!Isched_core.Schedule.of_cycles}; a
+    fault returns [None] when the schedule offers no opportunity for it
+    (e.g. no synchronization pair to hoist). *)
+
+module Schedule := Isched_core.Schedule
+module Dfg := Isched_dfg.Dfg
+
+type fault =
+  | Hoist_wait  (** move a protected sink to its wait's cycle: stale-data hoist *)
+  | Premature_send  (** issue a send at/before its dependence source *)
+  | Drop_arc  (** violate one data/memory arc, as if the scheduler never saw it *)
+  | Double_book_fu  (** pile more same-kind operations on a cycle than the machine has units *)
+  | Overflow_issue  (** issue more instructions in one cycle than the width *)
+
+val all : fault list
+val name : fault -> string
+
+(** [detects f v] — is [v] a violation of the class fault [f] plants? *)
+val detects : fault -> Violation.t -> bool
+
+(** [inject f s] — a corrupted copy of [s], or [None] when [s] has no
+    opportunity for [f].  Never mutates [s]. *)
+val inject : fault -> Schedule.t -> Schedule.t option
+
+type outcome = {
+  fault : fault;
+  injected : bool;  (** false: no opportunity in this schedule *)
+  detected : bool;  (** a violation of the fault's class was reported *)
+  violations : Violation.t list;  (** everything the checker reported *)
+}
+
+(** [campaign ?graph s] — inject every applicable fault into [s] and
+    check each corrupted schedule with {!Static.check} (against [graph],
+    default the trusted rebuild).  An [outcome] with [injected = true]
+    and [detected = false] is a checker bug. *)
+val campaign : ?graph:Dfg.t -> Schedule.t -> outcome list

@@ -1,0 +1,68 @@
+module Schedule = Isched_core.Schedule
+module Program = Isched_ir.Program
+module Value = Isched_sim.Value
+module Timing = Isched_sim.Timing
+module Memory = Isched_exec.Memory
+module Readlog = Isched_exec.Readlog
+module Prog_interp = Isched_exec.Prog_interp
+module Span = Isched_obs.Span
+module Counters = Isched_obs.Counters
+
+let c_runs = Counters.counter "check.oracle.runs"
+let c_failures = Counters.counter "check.oracle.failures"
+
+(* Stale reads can number in the thousands on a badly corrupted
+   schedule; the diagnostic keeps the totals and shows the first few. *)
+let max_shown = 5
+
+let differential_inner (s : Schedule.t) =
+  Counters.incr c_runs;
+  let p = s.Schedule.prog in
+  let msgs = ref [] in
+  let add m = msgs := m :: !msgs in
+  let v = Value.run s in
+  let seq_log = Readlog.create () in
+  let seq_mem = Prog_interp.run ~log:seq_log p in
+  if not (Memory.equal seq_mem v.Value.memory) then
+    add "final memory differs from the sequential reference";
+  let stale = Readlog.compare_logs ~reference:seq_log ~actual:v.Value.log in
+  (match stale with
+  | [] -> ()
+  | _ ->
+    add (Printf.sprintf "%d stale read(s): parallel execution observed wrong write generations"
+           (List.length stale));
+    List.iteri
+      (fun i m -> if i < max_shown then add (Format.asprintf "  %a" Readlog.pp_mismatch m))
+      stale);
+  List.iteri (fun i r -> if i < max_shown then add (Printf.sprintf "write race: %s" r)) v.Value.races;
+  if List.length v.Value.races > max_shown then
+    add (Printf.sprintf "... and %d more race(s)" (List.length v.Value.races - max_shown));
+  (match Timing.run s with
+  | t ->
+    if t.Timing.finish <> v.Value.finish then
+      add
+        (Printf.sprintf "timing simulator finishes at cycle %d, value simulator at %d"
+           t.Timing.finish v.Value.finish)
+  | exception (Timing.Invalid_schedule _ as e) -> add (Printexc.to_string e));
+  match List.rev !msgs with
+  | [] -> Ok ()
+  | msgs ->
+    Counters.incr c_failures;
+    Error msgs
+
+let differential (s : Schedule.t) =
+  if Span.enabled () then
+    Span.with_ ~name:"check.oracle"
+      ~args:[ ("prog", s.Schedule.prog.Program.name) ]
+      (fun () -> differential_inner s)
+  else differential_inner s
+
+let check_schedule ?graph (s : Schedule.t) =
+  let static =
+    match Static.check ?graph s with
+    | Ok () -> []
+    | Error vs ->
+      List.map (fun v -> Format.asprintf "%a" Violation.pp_located (s.Schedule.prog.Program.name, v)) vs
+  in
+  let dynamic = match differential s with Ok () -> [] | Error ms -> ms in
+  match static @ dynamic with [] -> Ok () | msgs -> Error msgs

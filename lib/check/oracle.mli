@@ -1,0 +1,27 @@
+(** Differential oracle: execute the schedule and compare against the
+    sequential reference interpreter, independently of the static
+    analyzer.
+
+    The value simulator ({!Isched_sim.Value}) runs the schedule with
+    real data through shared memory; {!Isched_exec.Prog_interp} runs the
+    same three-address program sequentially.  A legal schedule must
+    reproduce the reference's final memory, observe no stale read
+    (every read sees the same write generation as the reference), and
+    race on no cell.  The fast timing engine ({!Isched_sim.Timing}) is
+    cross-checked against the value simulator's cycle count, and its
+    {!Isched_sim.Timing.Invalid_schedule} signal is surfaced as a
+    diagnostic instead of a crash. *)
+
+module Schedule := Isched_core.Schedule
+module Dfg := Isched_dfg.Dfg
+
+(** [differential s] — [Ok ()] when the parallel execution of [s] is
+    observably the sequential execution; [Error msgs] lists every
+    deviation (memory diff, stale reads with their locations, races,
+    timing/value disagreement). *)
+val differential : Schedule.t -> (unit, string list) result
+
+(** [check_schedule ?graph s] — the full obligation: {!Static.check}
+    then {!differential}; all failures collected, static violations
+    rendered as located diagnostics. *)
+val check_schedule : ?graph:Dfg.t -> Schedule.t -> (unit, string list) result

@@ -1,0 +1,245 @@
+module Schedule = Isched_core.Schedule
+module Lbd_model = Isched_core.Lbd_model
+module Dfg = Isched_dfg.Dfg
+module Program = Isched_ir.Program
+module Machine = Isched_ir.Machine
+module Instr = Isched_ir.Instr
+module Fu = Isched_ir.Fu
+module Span = Isched_obs.Span
+module Counters = Isched_obs.Counters
+
+let c_runs = Counters.counter "check.static.runs"
+let c_violations = Counters.counter "check.static.violations"
+
+(* Fatal well-formedness problems: anything that would make the later
+   passes index out of bounds.  Reported alone — the rest of the checks
+   are meaningless on such a record. *)
+let fatal_shape (s : Schedule.t) =
+  let p = s.Schedule.prog in
+  let n = Array.length p.Program.body in
+  let vs = ref [] in
+  let bad what = vs := Violation.Malformed { what } :: !vs in
+  if Array.length s.Schedule.cycle_of <> n then
+    bad
+      (Printf.sprintf "cycle_of has %d entries for a %d-instruction body"
+         (Array.length s.Schedule.cycle_of) n);
+  Array.iteri
+    (fun i c -> if c < 0 then bad (Printf.sprintf "instruction %d at negative cycle %d" (i + 1) c))
+    s.Schedule.cycle_of;
+  List.rev !vs
+
+(* Non-fatal well-formedness: [rows] must lay out exactly the
+   instructions [cycle_of] places, and [length] must cover them. *)
+let check_shape (s : Schedule.t) add =
+  let p = s.Schedule.prog in
+  let n = Array.length p.Program.body in
+  let max_cycle = Array.fold_left max (-1) s.Schedule.cycle_of in
+  let expected_length = if n = 0 then 0 else max_cycle + 1 in
+  if s.Schedule.length <> expected_length then
+    add
+      (Violation.Malformed
+         {
+           what =
+             Printf.sprintf "length is %d, the last scheduled cycle implies %d" s.Schedule.length
+               expected_length;
+         });
+  if Array.length s.Schedule.rows <> s.Schedule.length then
+    add
+      (Violation.Malformed
+         {
+           what =
+             Printf.sprintf "%d rows for a %d-cycle schedule" (Array.length s.Schedule.rows)
+               s.Schedule.length;
+         });
+  let seen = Array.make n 0 in
+  Array.iteri
+    (fun c row ->
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= n then
+            add (Violation.Malformed { what = Printf.sprintf "row %d holds body index %d" (c + 1) i })
+          else begin
+            seen.(i) <- seen.(i) + 1;
+            if s.Schedule.cycle_of.(i) <> c then
+              add
+                (Violation.Malformed
+                   {
+                     what =
+                       Printf.sprintf "instruction %d sits in row %d but cycle_of says %d" (i + 1)
+                         (c + 1)
+                         (s.Schedule.cycle_of.(i) + 1);
+                   })
+          end)
+        row)
+    s.Schedule.rows;
+  Array.iteri
+    (fun i k ->
+      if k = 0 then
+        add (Violation.Malformed { what = Printf.sprintf "instruction %d missing from rows" (i + 1) })
+      else if k > 1 then
+        add
+          (Violation.Malformed
+             { what = Printf.sprintf "instruction %d appears %d times in rows" (i + 1) k }))
+    seen
+
+(* Sync conditions, re-derived from the program's signal/wait tables so
+   a scheduler fed a graph with dropped sync arcs cannot fool us. *)
+let check_sync (s : Schedule.t) add =
+  let p = s.Schedule.prog in
+  let cy i = s.Schedule.cycle_of.(i) in
+  Array.iter
+    (fun (si : Program.signal_info) ->
+      let needed = Instr.latency p.Program.body.(si.Program.src_instr) in
+      let gap = cy si.Program.send_instr - cy si.Program.src_instr in
+      if gap < needed then
+        add
+          (Violation.Premature_send
+             {
+               signal = si.Program.signal;
+               label = si.Program.label;
+               src_instr = si.Program.src_instr;
+               send_instr = si.Program.send_instr;
+               src_cycle = cy si.Program.src_instr;
+               send_cycle = cy si.Program.send_instr;
+               needed;
+             }))
+    p.Program.signals;
+  Array.iter
+    (fun (w : Program.wait_info) ->
+      List.iter
+        (fun m ->
+          if cy m - cy w.Program.wait_instr < 1 then
+            add
+              (Violation.Hoisted_sink
+                 {
+                   wait_id = w.Program.wait;
+                   signal = w.Program.signal;
+                   distance = w.Program.distance;
+                   protected_instr = m;
+                   wait_instr = w.Program.wait_instr;
+                   wait_cycle = cy w.Program.wait_instr;
+                   sink_cycle = cy m;
+                 }))
+        (Dfg.protected_of_wait p w))
+    p.Program.waits
+
+let check_arcs (s : Schedule.t) (g : Dfg.t) add =
+  let cy i = s.Schedule.cycle_of.(i) in
+  Array.iter
+    (fun arcs ->
+      List.iter
+        (fun (a : Dfg.arc) ->
+          let gap = cy a.Dfg.dst - cy a.Dfg.src in
+          if gap < a.Dfg.latency then
+            add
+              (Violation.Broken_arc
+                 { kind = a.Dfg.kind; src = a.Dfg.src; dst = a.Dfg.dst; latency = a.Dfg.latency; gap }))
+        arcs)
+    g.Dfg.succs
+
+(* Occupancy by direct counting over [cycle_of] — no reservation table,
+   no [Resource] code shared. *)
+let check_resources (s : Schedule.t) add =
+  let p = s.Schedule.prog in
+  let m = s.Schedule.machine in
+  let n = Array.length p.Program.body in
+  if n > 0 then begin
+    let horizon =
+      Array.fold_left max 0 s.Schedule.cycle_of + 1 + if m.Machine.pipelined then 0 else 8
+    in
+    let issued = Array.make horizon 0 in
+    let used = Array.make_matrix Fu.count horizon 0 in
+    Array.iteri
+      (fun i ins ->
+        let c0 = s.Schedule.cycle_of.(i) in
+        issued.(c0) <- issued.(c0) + 1;
+        match Instr.fu ins with
+        | None -> ()
+        | Some kind ->
+          let busy = if m.Machine.pipelined then 1 else Fu.latency kind in
+          for c = c0 to min (horizon - 1) (c0 + busy - 1) do
+            used.(Fu.index kind).(c) <- used.(Fu.index kind).(c) + 1
+          done)
+      p.Program.body;
+    Array.iteri
+      (fun c k ->
+        if k > m.Machine.issue_width then
+          add (Violation.Issue_overflow { cycle = c; used = k; width = m.Machine.issue_width }))
+      issued;
+    List.iter
+      (fun kind ->
+        let avail = Machine.fu_count m kind in
+        let row = used.(Fu.index kind) in
+        Array.iteri
+          (fun c k ->
+            if k > avail then
+              add (Violation.Fu_overflow { cycle = c; fu = kind; used = k; available = avail }))
+          row)
+      Fu.all
+  end
+
+(* The LBD spans the model reports must match the paper's
+   (n/d)(i-j)+l accounting, recomputed here from the raw cycles. *)
+let check_lbd (s : Schedule.t) add =
+  let p = s.Schedule.prog in
+  let n = p.Program.n_iters in
+  let l = s.Schedule.length in
+  let reports = Lbd_model.pairs s in
+  Array.iter
+    (fun (w : Program.wait_info) ->
+      let i = s.Schedule.cycle_of.(p.Program.signals.(w.Program.signal).Program.send_instr) + 1 in
+      let j = s.Schedule.cycle_of.(w.Program.wait_instr) + 1 in
+      let d = max 1 w.Program.distance in
+      let expected_paper = max l ((n / d * (i - j)) + l) in
+      let expected_exact = ((n - 1) / d * max 0 (i - j + 1)) + l in
+      match
+        List.find_opt (fun (r : Lbd_model.pair_report) -> r.Lbd_model.wait_id = w.Program.wait) reports
+      with
+      | None ->
+        add
+          (Violation.Lbd_mismatch
+             { wait_id = w.Program.wait; field = "pair report"; expected = 1; got = 0 })
+      | Some r ->
+        let field name expected got =
+          if expected <> got then
+            add (Violation.Lbd_mismatch { wait_id = w.Program.wait; field = name; expected; got })
+        in
+        field "send position i" i r.Lbd_model.send_pos;
+        field "wait position j" j r.Lbd_model.wait_pos;
+        field "is_lbd" (if i >= j then 1 else 0) (if r.Lbd_model.is_lbd then 1 else 0);
+        field "paper_time" expected_paper r.Lbd_model.paper_time;
+        field "exact_time" expected_exact r.Lbd_model.exact_time)
+    p.Program.waits
+
+let check_inner ?graph (s : Schedule.t) =
+  Counters.incr c_runs;
+  match fatal_shape s with
+  | _ :: _ as fatal ->
+    Counters.add c_violations (List.length fatal);
+    Error fatal
+  | [] ->
+    let g = match graph with Some g -> g | None -> Dfg.build s.Schedule.prog in
+    let vs = ref [] in
+    let add v = vs := v :: !vs in
+    check_shape s add;
+    check_sync s add;
+    check_arcs s g add;
+    check_resources s add;
+    check_lbd s add;
+    (match List.rev !vs with
+    | [] -> Ok ()
+    | vs ->
+      Counters.add c_violations (List.length vs);
+      Error vs)
+
+let check ?graph s =
+  if Span.enabled () then
+    Span.with_ ~name:"check.static"
+      ~args:[ ("prog", s.Schedule.prog.Program.name) ]
+      (fun () -> check_inner ?graph s)
+  else check_inner ?graph s
+
+let errors_to_string prog_name vs =
+  vs
+  |> List.map (fun v -> Format.asprintf "%a" Violation.pp_located (prog_name, v))
+  |> String.concat "\n"

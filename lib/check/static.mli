@@ -1,0 +1,38 @@
+(** Static schedule-validity analyzer: an implementation of the paper's
+    legality conditions that is {e independent} of the machinery that
+    produced the schedule.
+
+    For any {!Isched_core.Schedule.t} it verifies:
+
+    + the schedule record is well-formed ([rows]/[cycle_of] agree, every
+      body instruction scheduled exactly once);
+    + the synchronization conditions in {e scheduled} order, re-derived
+      from the program's signal/wait tables (not from whatever graph the
+      scheduler was given): every [Send] trails its dependence source by
+      the source's latency ([Src -> Sig]), and every instruction a wait
+      protects issues strictly after the wait ([Wat -> Snk]);
+    + every data/memory dependence arc of the data-flow graph is
+      separated by the producer's latency;
+    + no cycle over-subscribes issue slots or function units — occupancy
+      is re-derived here by direct counting, independent of
+      {!Isched_core.Resource}'s reservation tables;
+    + the {!Isched_core.Lbd_model} pair reports match an independent
+      [(n/d)(i-j)+l] accounting.
+
+    All violations are collected (not just the first), each carrying
+    location context — see {!Violation}. *)
+
+module Schedule := Isched_core.Schedule
+module Dfg := Isched_dfg.Dfg
+
+(** [check ?graph s] — [Ok ()] or every violation found.
+
+    [graph] defaults to a fresh [Dfg.build] of the schedule's own
+    program: the trusted reconstruction.  Pass the scheduler's graph
+    only when you deliberately want to check against it (the default is
+    what catches a scheduler that was fed a graph with dropped arcs). *)
+val check : ?graph:Dfg.t -> Schedule.t -> (unit, Violation.t list) result
+
+(** [errors_to_string prog_name vs] — the violations as located
+    one-per-line diagnostics. *)
+val errors_to_string : string -> Violation.t list -> string

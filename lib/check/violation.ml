@@ -1,0 +1,78 @@
+module Dfg = Isched_dfg.Dfg
+module Fu = Isched_ir.Fu
+
+type t =
+  | Malformed of { what : string }
+  | Premature_send of {
+      signal : int;
+      label : string;
+      src_instr : int;
+      send_instr : int;
+      src_cycle : int;
+      send_cycle : int;
+      needed : int;
+    }
+  | Hoisted_sink of {
+      wait_id : int;
+      signal : int;
+      distance : int;
+      protected_instr : int;
+      wait_instr : int;
+      wait_cycle : int;
+      sink_cycle : int;
+    }
+  | Broken_arc of { kind : Dfg.arc_kind; src : int; dst : int; latency : int; gap : int }
+  | Issue_overflow of { cycle : int; used : int; width : int }
+  | Fu_overflow of { cycle : int; fu : Fu.kind; used : int; available : int }
+  | Lbd_mismatch of { wait_id : int; field : string; expected : int; got : int }
+
+let class_name = function
+  | Malformed _ -> "malformed-schedule"
+  | Premature_send _ -> "premature-send"
+  | Hoisted_sink _ -> "hoisted-sink"
+  | Broken_arc _ -> "broken-arc"
+  | Issue_overflow _ -> "issue-overflow"
+  | Fu_overflow _ -> "fu-overflow"
+  | Lbd_mismatch _ -> "lbd-mismatch"
+
+let arc_kind_name = function
+  | Dfg.Data -> "data"
+  | Dfg.Mem -> "memory"
+  | Dfg.Sync_src -> "sync-source"
+  | Dfg.Sync_snk -> "sync-sink"
+
+let pp ppf v =
+  match v with
+  | Malformed { what } -> Format.fprintf ppf "[malformed-schedule] %s" what
+  | Premature_send { signal; label; src_instr; send_instr; src_cycle; send_cycle; needed } ->
+    Format.fprintf ppf
+      "[premature-send] Send_Signal(%s) (signal %d, instr %d, cycle %d) issues only %d cycle(s) \
+       after its source store (instr %d, cycle %d); %d needed — a consumer can be released to \
+       stale data"
+      label signal (send_instr + 1) (send_cycle + 1) (send_cycle - src_cycle) (src_instr + 1)
+      (src_cycle + 1) needed
+  | Hoisted_sink { wait_id; signal; distance; protected_instr; wait_instr; wait_cycle; sink_cycle }
+    ->
+    Format.fprintf ppf
+      "[hoisted-sink] sink instr %d (cycle %d) of wait %d on signal %d (distance %d) issues at \
+       or before its Wait_Signal (instr %d, cycle %d) — it can access stale data"
+      (protected_instr + 1) (sink_cycle + 1) wait_id signal distance (wait_instr + 1)
+      (wait_cycle + 1)
+  | Broken_arc { kind; src; dst; latency; gap } ->
+    Format.fprintf ppf
+      "[broken-arc] %s dependence %d -> %d needs a gap of %d cycle(s), scheduled gap is %d"
+      (arc_kind_name kind) (src + 1) (dst + 1) latency gap
+  | Issue_overflow { cycle; used; width } ->
+    Format.fprintf ppf "[issue-overflow] cycle %d issues %d instructions, machine width is %d"
+      (cycle + 1) used width
+  | Fu_overflow { cycle; fu; used; available } ->
+    Format.fprintf ppf "[fu-overflow] cycle %d needs %d %s unit(s), machine has %d" (cycle + 1)
+      used (Fu.name fu) available
+  | Lbd_mismatch { wait_id; field; expected; got } ->
+    Format.fprintf ppf
+      "[lbd-mismatch] pair of wait %d: Lbd_model reports %s = %d, independent (n/d)(i-j)+l \
+       accounting gives %d"
+      wait_id field got expected
+
+let to_string v = Format.asprintf "%a" pp v
+let pp_located ppf (prog, v) = Format.fprintf ppf "%s: %a" prog pp v

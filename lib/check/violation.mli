@@ -1,0 +1,64 @@
+(** The checker's violation taxonomy (see doc/checking.md).
+
+    Every way a static schedule can be wrong is one constructor, carrying
+    enough location context (body indices are 0-based internally, printed
+    1-based like the paper's figures) to point at the offending
+    instructions and cycles. *)
+
+module Dfg := Isched_dfg.Dfg
+module Fu := Isched_ir.Fu
+
+type t =
+  | Malformed of { what : string }
+      (** the schedule record itself is inconsistent: [rows] and
+          [cycle_of] disagree, an instruction is missing or duplicated,
+          or [length] is wrong *)
+  | Premature_send of {
+      signal : int;
+      label : string;  (** source-statement label, e.g. ["S3"] *)
+      src_instr : int;
+      send_instr : int;
+      src_cycle : int;
+      send_cycle : int;
+      needed : int;  (** minimum cycles the send must trail its source *)
+    }
+      (** sync condition [Src -> Sig] broken: the send issues before its
+          dependence source's result exists, so a consumer iteration can
+          be released towards stale data *)
+  | Hoisted_sink of {
+      wait_id : int;
+      signal : int;
+      distance : int;
+      protected_instr : int;  (** the memory operation hoisted above the wait *)
+      wait_instr : int;
+      wait_cycle : int;
+      sink_cycle : int;
+    }
+      (** sync condition [Wat -> Snk] broken: a protected sink memory
+          operation issues at or before its wait, i.e. it can read or
+          overwrite data before the producing iteration signalled *)
+  | Broken_arc of { kind : Dfg.arc_kind; src : int; dst : int; latency : int; gap : int }
+      (** a data-flow-graph dependence arc is not separated by the
+          producer's latency in scheduled order *)
+  | Issue_overflow of { cycle : int; used : int; width : int }
+      (** a cycle issues more instructions than the machine's width *)
+  | Fu_overflow of { cycle : int; fu : Fu.kind; used : int; available : int }
+      (** a cycle needs more copies of one function unit than the
+          machine has (non-pipelined units occupy their unit for their
+          whole latency) *)
+  | Lbd_mismatch of { wait_id : int; field : string; expected : int; got : int }
+      (** {!Isched_core.Lbd_model} reports a value for this pair that
+          disagrees with the checker's independent [(n/d)(i-j)+l]
+          accounting *)
+
+(** Stable kebab-case class name, e.g. ["premature-send"] — the key of
+    the taxonomy table in doc/checking.md and of the fault-injection
+    detection matrix. *)
+val class_name : t -> string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [pp_located ppf (prog_name, v)] — one-line diagnostic prefixed with
+    the program it was found in. *)
+val pp_located : Format.formatter -> string * t -> unit

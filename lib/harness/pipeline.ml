@@ -112,12 +112,44 @@ let schedule_inner ~options prepared machine which =
       in
       Isched_core.Sync_sched.run ~options:opts graph machine)
 
-let schedule ?(options = default_options) prepared machine which =
-  if Span.enabled () then
-    Span.with_ ~name:"pipeline.schedule" ~args:[ ("scheduler", scheduler_name which) ] (fun () ->
-        schedule_inner ~options prepared machine which)
-  else schedule_inner ~options prepared machine which
+exception Invalid_schedule_produced of { scheduler : string; diagnostics : string }
 
-let loop_time ?(options = default_options) prepared machine which =
-  let s = schedule ~options prepared machine which in
+let () =
+  Printexc.register_printer (function
+    | Invalid_schedule_produced { scheduler; diagnostics } ->
+      Some (Printf.sprintf "Pipeline: %s produced an invalid schedule:\n%s" scheduler diagnostics)
+    | _ -> None)
+
+(* [validate] reruns the independent checker on every schedule handed
+   out: the static analyzer against the same graph the scheduler used
+   plus the trusted rebuild (both, so a dropped-arc discrepancy between
+   them is caught from either side). *)
+let validate_schedule which (s : Isched_core.Schedule.t) graph =
+  let fail vs =
+    raise
+      (Invalid_schedule_produced
+         {
+           scheduler = scheduler_name which;
+           diagnostics =
+             Isched_check.Static.errors_to_string s.Isched_core.Schedule.prog.Program.name vs;
+         })
+  in
+  (match Isched_check.Static.check ~graph s with Ok () -> () | Error vs -> fail vs);
+  match Isched_check.Static.check s with Ok () -> () | Error vs -> fail vs
+
+let schedule ?(options = default_options) ?(validate = false) prepared machine which =
+  let s =
+    if Span.enabled () then
+      Span.with_ ~name:"pipeline.schedule" ~args:[ ("scheduler", scheduler_name which) ] (fun () ->
+          schedule_inner ~options prepared machine which)
+    else schedule_inner ~options prepared machine which
+  in
+  (if validate then
+     match prepared with
+     | Doall _ -> ()
+     | Doacross { graph; _ } -> validate_schedule which s graph);
+  s
+
+let loop_time ?(options = default_options) ?validate prepared machine which =
+  let s = schedule ~options ?validate prepared machine which in
   (Isched_sim.Timing.run s).Isched_sim.Timing.finish

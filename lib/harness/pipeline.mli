@@ -58,15 +58,29 @@ type scheduler = List_scheduling | Marker_scheduling | New_scheduling
     (the property tests check all of them). *)
 val all_schedulers : scheduler list
 
-(** [schedule ?options prepared m which] — the back half; only valid on
-    [Doacross].  The result passes {!Isched_core.Schedule.validate}. *)
-val schedule :
-  ?options:options -> prepared -> Machine.t -> scheduler -> Isched_core.Schedule.t
+(** Raised by {!schedule} with [~validate:true] when the independent
+    checker ({!Isched_check.Static}) finds violations in a produced
+    schedule.  [diagnostics] is the located, one-per-line rendering. *)
+exception Invalid_schedule_produced of { scheduler : string; diagnostics : string }
 
-(** [loop_time ?options prepared m which] — parallel execution time of
-    the loop from the timing simulator ({!Isched_sim.Timing}).  Like the
-    paper's statistics, only DOACROSS loops are measured; raises
-    [Invalid_argument] on [Doall]. *)
-val loop_time : ?options:options -> prepared -> Machine.t -> scheduler -> int
+(** [schedule ?options ?validate prepared m which] — the back half; only
+    valid on [Doacross].  The result passes
+    {!Isched_core.Schedule.validate}.
+
+    [validate] (default [false]) additionally runs the independent
+    static checker on the result — against both the graph the scheduler
+    used and a trusted rebuild — and raises
+    {!Invalid_schedule_produced} on any violation.  Opt-in because the
+    checker roughly doubles the per-schedule cost. *)
+val schedule :
+  ?options:options -> ?validate:bool -> prepared -> Machine.t -> scheduler ->
+  Isched_core.Schedule.t
+
+(** [loop_time ?options ?validate prepared m which] — parallel execution
+    time of the loop from the timing simulator ({!Isched_sim.Timing}).
+    Like the paper's statistics, only DOACROSS loops are measured;
+    raises [Invalid_argument] on [Doall].  [validate] as in
+    {!schedule}. *)
+val loop_time : ?options:options -> ?validate:bool -> prepared -> Machine.t -> scheduler -> int
 
 val scheduler_name : scheduler -> string

@@ -145,15 +145,21 @@ let to_json () =
   List.iteri
     (fun i (name, e) ->
       if i > 0 then Buffer.add_string b ",";
-      Buffer.add_string b (Printf.sprintf " \"%s\": " name);
+      Buffer.add_string b (Printf.sprintf " %s: " (Json.quote name));
       match e with
       | Counter v -> Buffer.add_string b (string_of_int v)
       | Dist s ->
         let mn = if s.count = 0 then 0 else s.min_v in
         let mx = if s.count = 0 then 0 else s.max_v in
+        let buckets =
+          s.buckets
+          |> List.map (fun (repr, c) -> Printf.sprintf "[%d, %d]" repr c)
+          |> String.concat ", "
+        in
         Buffer.add_string b
-          (Printf.sprintf "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d }" s.count s.sum
-             mn mx))
+          (Printf.sprintf
+             "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"buckets\": [%s] }" s.count
+             s.sum mn mx buckets))
     (snapshot ());
   Buffer.add_string b " }";
   Buffer.contents b

@@ -70,6 +70,9 @@ val enabled : unit -> bool
 val render : unit -> string
 
 (** [to_json ()] — {!snapshot} as one JSON object: counters as numbers,
-    distributions as [{"count","sum","min","max"}] objects (histogram
-    buckets are omitted to keep perf records small). *)
+    distributions as [{"count","sum","min","max","buckets"}] objects,
+    where ["buckets"] lists the non-empty histogram buckets as
+    [[representative, count]] pairs (the representative convention of
+    {!dist_stats}).  Metric names are escaped, so the output is valid
+    JSON whatever characters a name contains. *)
 val to_json : unit -> string

@@ -1,0 +1,12 @@
+(** Minimal JSON emission helpers shared by the two exporters
+    ({!Span.export_json} and {!Counters.to_json}), so every string that
+    reaches a JSON document goes through one escaping implementation. *)
+
+(** [escape s] — [s] with the JSON string escapes applied: double
+    quote, backslash, and control characters ([\n] and [\t] by name,
+    the rest as [\u00XX]).  The result is safe to splice between double
+    quotes. *)
+val escape : string -> string
+
+(** [quote s] — [escape s] wrapped in double quotes. *)
+val quote : string -> string

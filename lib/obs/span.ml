@@ -10,11 +10,22 @@ let enabled_flag = Atomic.make false
 let lock = Mutex.create ()
 
 (* Completion-ordered event log and the trace epoch, both under [lock];
-   [epoch] is written once (first enable) and read without the lock on
-   the hot path — a benign race, since enabling happens-before any span
-   that observes [enabled_flag]. *)
+   [epoch] is written on enable (and on reset) and read without the lock
+   on the hot path — a benign race, since enabling happens-before any
+   span that observes [enabled_flag].  The log is bounded: once
+   [capacity] events are held, further events are dropped and counted
+   instead of growing the live heap of a long-lived process without
+   limit. *)
 let log : event list ref = ref []
 let epoch = ref 0.0
+let n_events = ref 0
+let n_dropped = ref 0
+let default_capacity = 1 lsl 20
+let capacity = ref default_capacity
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Span.set_capacity: capacity must be >= 1";
+  Mutex.protect lock (fun () -> capacity := n)
 
 let set_enabled b =
   Mutex.protect lock (fun () -> if b && !epoch = 0.0 then epoch := Unix.gettimeofday ());
@@ -22,7 +33,13 @@ let set_enabled b =
 
 let enabled () = Atomic.get enabled_flag
 
-let record ev = Mutex.protect lock (fun () -> log := ev :: !log)
+let record ev =
+  Mutex.protect lock (fun () ->
+      if !n_events >= !capacity then incr n_dropped
+      else begin
+        log := ev :: !log;
+        incr n_events
+      end)
 
 let with_ ~name ?(args = []) f =
   if not (Atomic.get enabled_flag) then f ()
@@ -42,22 +59,19 @@ let with_ ~name ?(args = []) f =
       f
   end
 
-let reset () = Mutex.protect lock (fun () -> log := [])
-let events () = Mutex.protect lock (fun () -> List.rev !log)
+(* A reset restarts the trace: the epoch moves with the log, so spans
+   recorded afterwards are measured from the reset (not from the first
+   enable of the process, which could be arbitrarily far in the past). *)
+let reset () =
+  let now = if Atomic.get enabled_flag then Unix.gettimeofday () else 0.0 in
+  Mutex.protect lock (fun () ->
+      log := [];
+      n_events := 0;
+      n_dropped := 0;
+      epoch := now)
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let events () = Mutex.protect lock (fun () -> List.rev !log)
+let dropped_events () = Mutex.protect lock (fun () -> !n_dropped)
 
 let export_json () =
   let evs = events () in
@@ -84,14 +98,14 @@ let export_json () =
     (fun e ->
       let args =
         e.args
-        |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+        |> List.map (fun (k, v) -> Printf.sprintf "%s: %s" (Json.quote k) (Json.quote v))
         |> String.concat ", "
       in
       emit
         (Printf.sprintf
-           "{\"name\": \"%s\", \"cat\": \"isched\", \"ph\": \"X\", \"pid\": 1, \"tid\": %d, \
+           "{\"name\": %s, \"cat\": \"isched\", \"ph\": \"X\", \"pid\": 1, \"tid\": %d, \
             \"ts\": %.3f, \"dur\": %.3f, \"args\": {%s}}"
-           (json_escape e.name) e.tid e.ts_us e.dur_us args))
+           (Json.quote e.name) e.tid e.ts_us e.dur_us args))
     evs;
   Buffer.add_string b "\n]}\n";
   Buffer.contents b

@@ -32,11 +32,28 @@ val enabled : unit -> bool
     from any domain. *)
 val with_ : name:string -> ?args:(string * string) list -> (unit -> 'a) -> 'a
 
-(** [reset ()] drops every recorded event (the epoch is kept). *)
+(** [reset ()] drops every recorded event, clears the dropped-event
+    count and restarts the trace epoch: spans recorded after a reset are
+    measured from the reset point, not from the first enable of the
+    process. *)
 val reset : unit -> unit
 
-(** [events ()] — the recorded spans, in completion order. *)
+(** [events ()] — the recorded spans, in completion order.
+
+    The log is bounded (default one million events, see
+    {!set_capacity}): once full, further spans still run their thunks
+    normally but are dropped from the log and counted by
+    {!dropped_events}, so a long-lived traced process cannot grow the
+    log without limit. *)
 val events : unit -> event list
+
+(** [dropped_events ()] — spans dropped since the last {!reset} because
+    the log was at capacity. *)
+val dropped_events : unit -> int
+
+(** [set_capacity n] bounds the event log at [n] events.  Raises
+    [Invalid_argument] on [n < 1]. *)
+val set_capacity : int -> unit
 
 (** [export_json ()] — the trace as a Chrome [trace_event] JSON object
     ({["{\"traceEvents\": [...]}"]}), loadable in Perfetto / chrome://tracing.

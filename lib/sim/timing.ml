@@ -23,6 +23,25 @@ type result = {
 
 type assignment = [ `Cyclic | `Block ]
 
+exception
+  Invalid_schedule of {
+    prog : string;
+    iteration : int;
+    wait : int;
+    signal : int;
+    posting_iteration : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_schedule { prog; iteration; wait; signal; posting_iteration } ->
+      Some
+        (Printf.sprintf
+           "Timing.Invalid_schedule: %s iteration %d blocks on wait %d (signal %d), but \
+            iteration %d never posted it — its Send is missing from the row layout"
+           prog iteration wait signal posting_iteration)
+    | _ -> None)
+
 (* The LBD loop theorem (PAPER.md Section 3) prices a loop as
    (n/d)(i-j) + l: past a fill transient the per-iteration offset is
    constant, so the tail of the simulation is an arithmetic progression.
@@ -75,8 +94,20 @@ let run_rows_inner ?n_procs ?(assignment = `Cyclic) ?(extrapolate = true) (p : P
               if from >= 0 then begin
                 let posted = post.(w.Program.signal).(from) in
                 (* Signals flow from lower iterations, simulated already;
-                   a send that exists always executes. *)
-                assert (posted >= 0);
+                   a send present in the rows has always executed by now.
+                   [posted < 0] therefore means the matching Send is
+                   absent from the row layout — an invalid schedule, not
+                   a simulator bug — and is diagnosed as such. *)
+                if posted < 0 then
+                  raise
+                    (Invalid_schedule
+                       {
+                         prog = p.Program.name;
+                         iteration = k;
+                         wait = w.Program.wait;
+                         signal = w.Program.signal;
+                         posting_iteration = from;
+                       });
                 ready := max !ready (posted + 1)
               end
             | _ -> ())

@@ -33,6 +33,24 @@ type result = {
     as a contrast knob). *)
 type assignment = [ `Cyclic | `Block ]
 
+(** Raised by {!run_rows} when an iteration blocks on a wait whose
+    matching [Send] never executed — i.e. the send instruction is
+    missing from the supplied row layout.  [iteration] is the blocked
+    iteration, [wait]/[signal] identify the pair in the program's
+    tables, and [posting_iteration] is the iteration that should have
+    posted the signal.  {!Isched_check} surfaces this as a located
+    diagnostic instead of a crash.  (A schedule produced by
+    {!Isched_core.Schedule.of_cycles} always contains every body
+    instruction, so {!run} never raises this.) *)
+exception
+  Invalid_schedule of {
+    prog : string;  (** program name, for the diagnostic *)
+    iteration : int;
+    wait : int;
+    signal : int;
+    posting_iteration : int;
+  }
+
 (** [run ?n_procs ?assignment ?extrapolate s] simulates the schedule.
     [n_procs] defaults to the paper's assumption of one processor per
     iteration; with fewer, iterations are assigned per [assignment]

@@ -22,7 +22,10 @@ let set_default_jobs n =
 let default_jobs () = !default
 let recommended_jobs () = Domain.recommended_domain_count ()
 
-type 'b outcome = Done of 'b | Failed of exn
+(* A failed task keeps the backtrace captured at the raise site in the
+   worker, so the re-raise in the caller does not replace it with the
+   (useless) caller-side trace. *)
+type 'b outcome = Done of 'b | Failed of exn * Printexc.raw_backtrace
 
 (* Work-stealing over a shared atomic index; results land in an
    index-addressed slot array, so the output order never depends on the
@@ -44,7 +47,10 @@ let run_indexed ~jobs f (items : 'a array) : 'b array =
         Counters.incr c_tasks;
         Counters.observe d_queue_depth (n - i);
         incr executed;
-        results.(i) <- Some (try Done (run_task i items.(i)) with e -> Failed e);
+        results.(i) <-
+          Some
+            (try Done (run_task i items.(i))
+             with e -> Failed (e, Printexc.get_raw_backtrace ()));
         loop ()
       end
     in
@@ -53,14 +59,25 @@ let run_indexed ~jobs f (items : 'a array) : 'b array =
   in
   let n_domains = min (jobs - 1) (n - 1) in
   Counters.incr c_runs;
-  Counters.add c_domains n_domains;
-  let domains = Array.init n_domains (fun _ -> Domain.spawn worker) in
+  let spawned = ref [] in
+  (* If the runtime refuses a later spawn, the earlier domains are
+     already chewing on the task queue — join them before re-raising so
+     no domain outlives the call. *)
+  (try
+     for _ = 1 to n_domains do
+       spawned := Domain.spawn worker :: !spawned;
+       Counters.incr c_domains
+     done
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     List.iter Domain.join !spawned;
+     Printexc.raise_with_backtrace e bt);
   worker ();
-  Array.iter Domain.join domains;
+  List.iter Domain.join !spawned;
   Array.map
     (function
       | Some (Done v) -> v
-      | Some (Failed e) -> raise e
+      | Some (Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
       | None -> assert false)
     results
 

@@ -7,7 +7,10 @@
 
     Jobs must be pure or synchronize their own shared state (the
     pipeline memo table does its own locking).  Exceptions raised by a
-    job are caught in the worker and re-raised in the caller. *)
+    job are caught in the worker and re-raised in the caller with the
+    backtrace captured at the original raise site.  If spawning the
+    worker domains fails partway, the already-spawned domains are
+    joined before the spawn failure propagates. *)
 
 (** [set_default_jobs n] sets the pool width used when [?jobs] is
     omitted; [n <= 1] means run everything sequentially in the calling

@@ -13,6 +13,7 @@ let () =
       ("sched", Test_scheduler.suite);
       ("exec", Test_exec.suite);
       ("sim", Test_sim.suite);
+      ("check", Test_check.suite);
       ("perfect", Test_perfect.suite);
       ("harness", Test_harness.suite);
       ("extensions", Test_extensions.suite);

@@ -183,6 +183,50 @@ let test_span_reset () =
   check Alcotest.int "reset drops events" 0 (List.length (Span.events ()));
   Span.set_enabled false
 
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+let test_span_reset_restarts_epoch () =
+  (* Regression: reset used to clear the log but keep the old epoch, so
+     post-reset spans carried timestamps offset by the whole previous
+     run.  After a reset the first span must sit near t = 0 again. *)
+  fresh ();
+  Span.set_enabled true;
+  ignore (Span.with_ ~name:"before" Fun.id);
+  Unix.sleepf 0.1;
+  Span.reset ();
+  ignore (Span.with_ ~name:"after" Fun.id);
+  Span.set_enabled false;
+  match Span.events () with
+  | [ ev ] ->
+    check Alcotest.string "post-reset span kept" "after" ev.Span.name;
+    Alcotest.(check bool) "timestamp restarts at the reset, not the first enable" true
+      (ev.Span.ts_us < 50_000.0)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_span_log_bounded () =
+  fresh ();
+  Span.set_enabled true;
+  Span.set_capacity 3;
+  Fun.protect ~finally:(fun () ->
+      Span.set_enabled false;
+      Span.set_capacity (1 lsl 20);
+      Span.reset ())
+  @@ fun () ->
+  for i = 1 to 5 do
+    check Alcotest.int "thunk still runs when full" i
+      (Span.with_ ~name:(Printf.sprintf "s%d" i) (fun () -> i))
+  done;
+  check Alcotest.int "log capped" 3 (List.length (Span.events ()));
+  check Alcotest.int "overflow counted" 2 (Span.dropped_events ());
+  Span.reset ();
+  check Alcotest.int "reset clears the drop count" 0 (Span.dropped_events ());
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Span.set_capacity: capacity must be >= 1") (fun () ->
+      Span.set_capacity 0)
+
 (* --- counters --- *)
 
 let test_counter_basics () =
@@ -261,6 +305,29 @@ let test_counters_json_valid () =
   let json = Counters.to_json () in
   try Json.parse json with Failure m -> Alcotest.failf "to_json not valid JSON: %s" m
 
+let test_counters_json_escapes_names () =
+  (* Regression: names containing quotes, backslashes or control
+     characters used to be emitted raw, breaking the whole document. *)
+  fresh ();
+  Counters.add (Counters.counter {|test.tricky "quoted"\name|}) 1;
+  Counters.observe (Counters.dist "test.tricky\tdist\n") 2;
+  let json = Counters.to_json () in
+  (try Json.parse json with Failure m -> Alcotest.failf "escaped names broke JSON: %s" m);
+  Alcotest.(check bool) "quote escaped" true (contains {|\"quoted\"|} json)
+
+let test_counters_json_has_buckets () =
+  (* Regression: distributions exported only count/sum/min/max — the
+     buckets (the whole point of a distribution) were dropped. *)
+  fresh ();
+  let d = Counters.dist "test.bucketed" in
+  List.iter (Counters.observe d) [ 3; 3; -2; 100 ];
+  let json = Counters.to_json () in
+  (try Json.parse json with Failure m -> Alcotest.failf "not valid JSON: %s" m);
+  Alcotest.(check bool) "buckets key present" true (contains "\"buckets\"" json);
+  Alcotest.(check bool) "exact bucket" true (contains "[3, 2]" json);
+  Alcotest.(check bool) "negative bucket" true (contains "[-1, 1]" json);
+  Alcotest.(check bool) "overflow bucket" true (contains "[64, 1]" json)
+
 (* --- domain safety --- *)
 
 let test_domain_safety () =
@@ -295,6 +362,8 @@ let suite =
     Alcotest.test_case "span: recorded despite exceptions" `Quick test_span_survives_exception;
     Alcotest.test_case "span: export is valid trace_event JSON" `Quick test_span_export_is_valid_json;
     Alcotest.test_case "span: reset drops events" `Quick test_span_reset;
+    Alcotest.test_case "span: reset restarts the epoch" `Quick test_span_reset_restarts_epoch;
+    Alcotest.test_case "span: log is bounded, drops counted" `Quick test_span_log_bounded;
     Alcotest.test_case "counters: incr/add/value and handle identity" `Quick test_counter_basics;
     Alcotest.test_case "counters: disabled means no-op" `Quick test_counter_disabled;
     Alcotest.test_case "counters: distribution stats and buckets" `Quick test_dist_stats;
@@ -302,5 +371,9 @@ let suite =
     Alcotest.test_case "counters: snapshot sorted, find works" `Quick test_snapshot_sorted_and_complete;
     Alcotest.test_case "counters: reset keeps handles valid" `Quick test_reset_keeps_handles;
     Alcotest.test_case "counters: to_json is valid JSON" `Quick test_counters_json_valid;
+    Alcotest.test_case "counters: to_json escapes hostile names" `Quick
+      test_counters_json_escapes_names;
+    Alcotest.test_case "counters: to_json carries the buckets" `Quick
+      test_counters_json_has_buckets;
     Alcotest.test_case "obs: counters and spans are domain-safe" `Quick test_domain_safety;
   ]

@@ -13,6 +13,9 @@ module Parser = Isched_frontend.Parser
 
 let check = Alcotest.check
 let compile ?n_iters src = Isched_codegen.Codegen.compile ?n_iters (Parser.parse_loop src)
+
+let qtest ?(count = 60) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
 let m4 = Machine.make ~issue:4 ~nfu:1 ()
 
 let schedules_of src =
@@ -61,6 +64,27 @@ let test_timing_n_iters_scaling () =
   let t100 = time 100 and t200 = time 200 in
   (* Per the theorem the time is linear in n. *)
   Alcotest.(check bool) "roughly doubles" true (abs (t200 - (2 * t100)) <= t100 / 2)
+
+let test_timing_invalid_schedule_error () =
+  (* Regression: a row layout that omits the Send leaves later
+     iterations waiting on a signal nobody posts.  This used to die in a
+     bare [assert]; it must now raise the structured error with the
+     iteration/signal context. *)
+  let p = compile "DOACROSS I = 1, 10\n A[I] = A[I-1] + E[I]\nENDDO" in
+  let keep = ref [] in
+  Array.iteri
+    (fun i instr ->
+      match instr with Isched_ir.Instr.Send _ -> () | _ -> keep := i :: !keep)
+    p.Program.body;
+  let rows = Array.of_list (List.rev_map (fun i -> [| i |]) !keep) in
+  match Timing.run_rows p rows with
+  | _ -> Alcotest.fail "expected Invalid_schedule"
+  | exception Timing.Invalid_schedule { prog; iteration; wait; signal; posting_iteration } ->
+    check Alcotest.string "prog named" p.Program.name prog;
+    Alcotest.(check bool) "stalled iteration is not the first" true (iteration >= 1);
+    check Alcotest.int "posting iteration at the dependence distance" (iteration - 1)
+      posting_iteration;
+    Alcotest.(check bool) "wait and signal ids in range" true (wait >= 0 && signal >= 0)
 
 let test_timing_run_rows_hand_layout () =
   (* A hand-built two-row layout: wait+load in row 1, store+send in
@@ -135,6 +159,39 @@ let test_timing_extrapolation_fires () =
   Alcotest.(check bool) "engages with a limited pool" true
     (fast4.Timing.extrapolated_from <> None);
   same_result "n=5000 chain, 4 procs" (Timing.run ~n_procs:4 ~extrapolate:false s) fast4
+
+(* The extrapolation fast path splits a `Block pool into equal chunks
+   plus a ragged remainder when n_procs does not divide n; the residues
+   at the chunk boundaries are exactly where an off-by-one would hide.
+   Property: fast path and full simulation are bit-identical there. *)
+let prop_block_extrapolation_ragged =
+  qtest "timing: extrapolation exact under `Block with ragged chunks"
+    QCheck2.Gen.(
+      let* d = int_range 1 4 in
+      let* n = int_range 8 400 in
+      let* n_procs = int_range 2 9 in
+      let* issue = oneofl [ 2; 4 ] in
+      let* which = oneofl [ `List; `New ] in
+      return (d, n, n_procs, issue, which))
+    (fun (d, n, n_procs, issue, which) ->
+      (* force a non-zero residue: n_procs >= 2, so n+1 never divides *)
+      let n = if n mod n_procs = 0 then n + 1 else n in
+      let p =
+        compile ~n_iters:n (Printf.sprintf "DOACROSS I = 1, 100\n A[I] = A[I-%d] + E[I]\nENDDO" d)
+      in
+      let g = Dfg.build p in
+      let m = Machine.make ~issue ~nfu:1 () in
+      let s =
+        match which with
+        | `List -> Isched_core.List_sched.run g m
+        | `New -> Isched_core.Sync_sched.run g m
+      in
+      let fast = Timing.run ~n_procs ~assignment:`Block s in
+      let full = Timing.run ~n_procs ~assignment:`Block ~extrapolate:false s in
+      fast.Timing.finish = full.Timing.finish
+      && fast.Timing.stall_cycles = full.Timing.stall_cycles
+      && fast.Timing.iteration_starts = full.Timing.iteration_starts
+      && fast.Timing.iteration_finishes = full.Timing.iteration_finishes)
 
 (* Steady-state boundary cases.  [Program.validate] rejects trip counts
    below 1, so the n=0 record is built directly and driven through
@@ -297,7 +354,10 @@ let suite =
     ("timing: converted pairs cost one iteration", `Quick, test_timing_lfd_costs_nothing);
     ("timing: chained iteration starts increase", `Quick, test_timing_iteration_starts_monotone_chain);
     ("timing: linear in the iteration count", `Quick, test_timing_n_iters_scaling);
+    ("timing: missing send raises a located Invalid_schedule", `Quick,
+      test_timing_invalid_schedule_error);
     ("timing: run_rows on a hand layout", `Quick, test_timing_run_rows_hand_layout);
+    prop_block_extrapolation_ragged;
     ( "timing: extrapolation exact on corpora, n in {1,7,100}, both assignments",
       `Slow,
       test_timing_extrapolation_matches_full );

@@ -270,6 +270,34 @@ let test_pool_exception () =
   Alcotest.check_raises "worker exception reaches the caller" Exit (fun () ->
       ignore (Pool.map ~jobs:2 (fun x -> if x = 3 then raise Exit else x) [ 1; 2; 3; 4 ]))
 
+exception Pool_boom
+
+(* Deep enough that the raise site's frames are distinguishable from the
+   re-raise inside [Pool]; [opaque_identity] keeps it out of inlining. *)
+let rec deep_raise n =
+  if n = 0 then raise Pool_boom else 1 + Sys.opaque_identity (deep_raise (n - 1))
+
+let test_pool_exception_backtrace () =
+  (* Regression: the pool re-raised worker exceptions with a bare
+     [raise], so the backtrace pointed at the pool's result loop instead
+     of the worker's raise site.  Only assert on builds where local
+     backtraces are informative at all. *)
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect ~finally:(fun () -> Printexc.record_backtrace prev) @@ fun () ->
+  let control =
+    try ignore (deep_raise 5);
+        ""
+    with Pool_boom -> Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+  in
+  match Pool.map ~jobs:2 (fun x -> if x = 2 then deep_raise 5 else x) [ 1; 2; 3; 4 ] with
+  | _ -> Alcotest.fail "expected Pool_boom"
+  | exception Pool_boom ->
+    let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+    if contains control "deep_raise" then
+      Alcotest.(check bool) "worker raise site survives the domain hop" true
+        (contains bt "deep_raise")
+
 let test_pool_defaults () =
   let saved = Pool.default_jobs () in
   Pool.set_default_jobs 3;
@@ -352,6 +380,7 @@ let suite =
     ("pool: map preserves order across job counts", `Quick, test_pool_map_order);
     ("pool: mapi indices", `Quick, test_pool_mapi);
     ("pool: exceptions propagate", `Quick, test_pool_exception);
+    ("pool: worker backtraces preserved", `Quick, test_pool_exception_backtrace);
     ("pool: default jobs knob", `Quick, test_pool_defaults);
     pool_matches_list_map;
     ("table: render contains content", `Quick, test_table_render);
