@@ -29,20 +29,38 @@ type cli = {
   mutable out : string;
   mutable trace : string option;
   mutable counters : bool;
+  mutable compare : bool;
+  mutable bench_history : string option;
 }
 
 let usage () =
   prerr_endline
     "usage: main.exe [--jobs N] [--smoke] [--out FILE] [--trace FILE] [--counters]\n\
+    \                [--compare] [--bench-history FILE]\n\
     \  --jobs N     width of the domain pool (default 1 = sequential)\n\
     \  --smoke      reduced run: 1 benchmark, 2 configs, tables only\n\
     \  --out FILE   perf record path (default BENCH_results.json)\n\
     \  --trace FILE write a Chrome/Perfetto trace_event JSON of the run\n\
-    \  --counters   print the observability counter registry at the end";
+    \  --counters   print the observability counter registry at the end\n\
+    \  --compare    perf-regression gate: compare the newest recorded run against the\n\
+    \               mean of prior runs at matching --jobs/--smoke; exit 1 on a >20%\n\
+    \               wall-clock or table_totals regression.  Runs no benchmarks.\n\
+    \  --bench-history FILE  history file for --compare and for appending records\n\
+    \               (default: the --out path)";
   exit 2
 
 let parse_cli () =
-  let cli = { jobs = 1; smoke = false; out = "BENCH_results.json"; trace = None; counters = false } in
+  let cli =
+    {
+      jobs = 1;
+      smoke = false;
+      out = "BENCH_results.json";
+      trace = None;
+      counters = false;
+      compare = false;
+      bench_history = None;
+    }
+  in
   let rec go = function
     | [] -> ()
     | "--smoke" :: rest ->
@@ -50,6 +68,9 @@ let parse_cli () =
       go rest
     | "--counters" :: rest ->
       cli.counters <- true;
+      go rest
+    | "--compare" :: rest ->
+      cli.compare <- true;
       go rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with Some j when j >= 1 -> cli.jobs <- j | _ -> usage ());
@@ -60,13 +81,20 @@ let parse_cli () =
     | "--trace" :: path :: rest ->
       cli.trace <- Some path;
       go rest
+    | "--bench-history" :: path :: rest ->
+      cli.bench_history <- Some path;
+      go rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> go ("--jobs" :: String.sub arg 7 (String.length arg - 7) :: rest)
     | arg :: rest when String.length arg > 6 && String.sub arg 0 6 = "--out=" -> go ("--out" :: String.sub arg 6 (String.length arg - 6) :: rest)
     | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" -> go ("--trace" :: String.sub arg 8 (String.length arg - 8) :: rest)
+    | arg :: rest when String.length arg > 16 && String.sub arg 0 16 = "--bench-history=" ->
+      go ("--bench-history" :: String.sub arg 16 (String.length arg - 16) :: rest)
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
   cli
+
+let history_path cli = match cli.bench_history with Some p -> p | None -> cli.out
 
 (* --- stage timing --- *)
 
@@ -308,14 +336,45 @@ let emit_record ~path ~cli ~total (ms : Report.measurement list) =
   Buffer.add_string b "    }";
   let entry = Buffer.contents b in
   let runs = match previous_runs path with None -> entry | Some prev -> prev ^ ",\n    " ^ entry in
+  let doc = Printf.sprintf "{\n  \"runs\": [\n    %s\n  ]\n}\n" runs in
+  (* Keep the history bounded: the newest 200 runs.  On an unparseable
+     document the rotation declines and the raw splice stands — better
+     an over-long history than a destroyed one. *)
+  let doc = Option.value ~default:doc (Isched_harness.Bench_gate.rotate_history ~keep:200 doc) in
   let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Printf.fprintf oc "{\n  \"runs\": [\n    %s\n  ]\n}\n" runs);
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc doc);
   Printf.printf "wrote %s\n" path
+
+(* --- the --compare perf-regression gate --- *)
+
+let run_compare cli =
+  let path = history_path cli in
+  if not (Sys.file_exists path) then begin
+    Printf.printf "perf comparison: no history at %s — nothing to compare against, OK\n" path;
+    exit 0
+  end;
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Isched_harness.Bench_gate.parse_history contents with
+  | Error e ->
+    Printf.eprintf "perf comparison: cannot parse %s: %s\n" path e;
+    exit 2
+  | Ok runs -> (
+    match Isched_harness.Bench_gate.compare_latest runs with
+    | Error e ->
+      Printf.eprintf "perf comparison: %s\n" e;
+      exit 2
+    | Ok c ->
+      print_string (Isched_harness.Bench_gate.render_comparison c);
+      exit (if Isched_harness.Bench_gate.ok c then 0 else 1))
 
 let () =
   let cli = parse_cli () in
+  if cli.compare then run_compare cli;
   Pool.set_default_jobs cli.jobs;
   (match cli.trace with None -> () | Some _ -> Isched_obs.Span.set_enabled true);
   let t0 = Unix.gettimeofday () in
@@ -336,7 +395,7 @@ let () =
     timed "artifacts" artifacts
   end;
   let total = Unix.gettimeofday () -. t0 in
-  emit_record ~path:cli.out ~cli ~total ms;
+  emit_record ~path:(history_path cli) ~cli ~total ms;
   (match cli.trace with
   | None -> ()
   | Some path ->

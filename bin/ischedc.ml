@@ -381,14 +381,31 @@ let check_cmd =
                 if not o.Inject.injected then
                   add "[inject] %s under %s: no opportunity" (Inject.name o.Inject.fault)
                     (scheduler_title w)
-                else if o.Inject.detected then
-                  add "[inject] %s under %s: detected (%d violation(s))" (Inject.name o.Inject.fault)
-                    (scheduler_title w)
-                    (List.length o.Inject.violations)
                 else begin
-                  incr fails;
-                  add "[inject] %s under %s: MISSED - checker bug" (Inject.name o.Inject.fault)
-                    (scheduler_title w)
+                  (* Name both sides of the experiment — the injected
+                     fault class and the classes the checker reported —
+                     so a missed injection (nothing reported) and a
+                     miscaught one (only other classes reported) read
+                     differently from the output alone. *)
+                  let reported =
+                    List.fold_left
+                      (fun acc v ->
+                        let c = Isched_check.Violation.class_name v in
+                        if List.mem c acc then acc else acc @ [ c ])
+                      [] o.Inject.violations
+                  in
+                  if o.Inject.detected then
+                    add "[inject] injected %s under %s: detected as [%s] (%d violation(s))"
+                      (Inject.name o.Inject.fault) (scheduler_title w)
+                      (String.concat ", " reported)
+                      (List.length o.Inject.violations)
+                  else begin
+                    incr fails;
+                    add "[inject] injected %s under %s: MISSED - checker reported %s"
+                      (Inject.name o.Inject.fault) (scheduler_title w)
+                      (if reported = [] then "nothing"
+                       else Printf.sprintf "only [%s]" (String.concat ", " reported))
+                  end
                 end)
               (Inject.campaign ~graph s))
           scheds);
@@ -444,6 +461,77 @@ let check_cmd =
     Term.(
       const run $ obs_term $ jobs_arg $ file $ corpus $ machine_term $ scheduler_arg $ inject)
 
+(* --- explain --- *)
+
+let explain_cmd =
+  let module Pipeline = Isched_harness.Pipeline in
+  let module Explain = Isched_harness.Explain in
+  let run () file machine which fmt pair =
+    let which =
+      match which with
+      | None | Some Sched_new -> Pipeline.New_scheduling
+      | Some Sched_list -> Pipeline.List_scheduling
+      | Some Sched_marker -> Pipeline.Marker_scheduling
+    in
+    let failed = ref false in
+    List.iter
+      (fun l ->
+        match Explain.build ~which l machine with
+        | Error msg ->
+          failed := true;
+          Printf.eprintf "ischedc explain: %s\n%!" msg
+        | Ok t -> (
+          (match pair with
+          | Some p when not (List.exists (fun pt -> String.equal (Explain.pair_key pt) p) t.Explain.pairs) ->
+            failed := true;
+            Printf.eprintf "ischedc explain: loop %s has no pair %s (pairs: %s)\n%!" t.Explain.loop_name
+              p
+              (match t.Explain.pairs with
+              | [] -> "none"
+              | ps -> String.concat ", " (List.map Explain.pair_key ps))
+          | _ -> ());
+          match fmt with
+          | `Ascii -> print_string (Explain.render_ascii ?pair t)
+          | `Json -> print_string (Explain.render_json ?pair t)
+          | `Svg ->
+            print_string
+              (Isched_sim.Viz.gantt_svg ~decisions:t.Explain.decisions t.Explain.schedule)))
+      (load_loops file);
+    if !failed then exit 1
+  in
+  let fmt =
+    Arg.(
+      value
+      & vflag `Ascii
+          [
+            (`Ascii, info [ "ascii" ] ~doc:"Human-readable report (default).");
+            ( `Json,
+              info [ "json" ]
+                ~doc:"One JSON document: header, per-pair traces, raw decision list." );
+            ( `Svg,
+              info [ "svg" ]
+                ~doc:"SVG Gantt of the schedule with sync arcs overlaid and provenance tooltips."
+            );
+          ])
+  in
+  let pair =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pair" ] ~docv:"SRC:SNK"
+          ~doc:
+            "Trace one dependence only: the pair whose source statement is labelled SRC and \
+             sink SNK (e.g. S3:S1).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain where each synchronization pair's send (i) and wait (j) landed and why: the \
+          LBD contribution (n/d)(i-j)+l per pair, backed by the recorded scheduling-decision \
+          chains (candidate sets, ready cycles, priorities, resource rejections, binding \
+          sync-arcs).")
+    Term.(const run $ obs_term $ file_arg $ machine_term $ scheduler_arg $ fmt $ pair)
+
 (* --- example --- *)
 
 let example_cmd =
@@ -493,5 +581,5 @@ let () =
        (Cmd.group ~default info
           [
             compile_cmd; deps_cmd; dfg_cmd; sched_cmd; sim_cmd; check_cmd; asm_cmd; viz_cmd;
-            example_cmd; tables_cmd;
+            explain_cmd; example_cmd; tables_cmd;
           ]))

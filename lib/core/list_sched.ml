@@ -3,11 +3,12 @@ module Dfg = Isched_dfg.Dfg
 module Pqueue = Isched_util.Pqueue
 module Span = Isched_obs.Span
 module Counters = Isched_obs.Counters
+module Provenance = Isched_obs.Provenance
 
 let c_runs = Counters.counter "sched.list.runs"
 let d_sync_span = Counters.dist "sched.list.sync_span"
 
-let run_inner ?priority ?release (g : Dfg.t) machine =
+let run_inner ?(tag = "list") ?priority ?release (g : Dfg.t) machine =
   let n = g.Dfg.n in
   let prio = match priority with Some p -> p | None -> Dfg.longest_path_to_exit g in
   if Array.length prio <> n then invalid_arg "List_sched.run: priority length mismatch";
@@ -18,6 +19,19 @@ let run_inner ?priority ?release (g : Dfg.t) machine =
   let indeg = Array.make n 0 in
   Array.iter (fun arcs -> List.iter (fun (a : Dfg.arc) -> indeg.(a.dst) <- indeg.(a.dst) + 1) arcs) g.Dfg.succs;
   let est = Array.init n (fun i -> max 0 release.(i)) in
+  (* Provenance bookkeeping, all gated on one atomic read per run so the
+     disabled path touches none of it (pinned byte-identical by the
+     property suite). *)
+  let prov = Provenance.enabled () in
+  let bind : Provenance.binding option array =
+    if prov then
+      Array.init n (fun i ->
+          if release.(i) > 0 then
+            Some { Provenance.pred = -1; latency = release.(i); arc = "release" }
+          else None)
+    else [||]
+  in
+  let rej : Provenance.rejection list array = if prov then Array.make n [] else [||] in
   (* Calendar queue: bucket c holds the nodes becoming ready exactly at
      cycle c.  The main loop walks cycles in order, so a cycle-indexed
      vector gives O(1) insert and drain with no hashing. *)
@@ -49,22 +63,41 @@ let run_inner ?priority ?release (g : Dfg.t) machine =
         Resource.reserve res ~cycle:!cycle ins;
         cycle_of.(i) <- !cycle;
         incr scheduled;
+        if prov then
+          Provenance.record ~scheduler:tag ~prog:g.Dfg.prog.Isched_ir.Program.name ~instr:i
+            ~cycle:!cycle ~ready:est.(i)
+            ~candidates:(Pqueue.length ready + List.length !deferred + 1)
+            ~priority:prio.(i) ~rejections:(List.rev rej.(i)) ?binding:bind.(i) ();
         List.iter
           (fun (a : Dfg.arc) ->
             indeg.(a.dst) <- indeg.(a.dst) - 1;
-            est.(a.dst) <- max est.(a.dst) (!cycle + a.latency);
+            let ready_at = !cycle + a.latency in
+            if prov && ready_at >= est.(a.dst) then
+              bind.(a.dst) <-
+                Some { Provenance.pred = i; latency = a.latency; arc = Dfg.arc_kind_name a.kind };
+            est.(a.dst) <- max est.(a.dst) ready_at;
             if indeg.(a.dst) = 0 then push_future (max est.(a.dst) (!cycle + 1)) a.dst)
           g.Dfg.succs.(i)
       end
-      else deferred := i :: !deferred
+      else begin
+        if prov then begin
+          let reason =
+            match Resource.reject_reason res ~cycle:!cycle ins with
+            | Some r -> r
+            | None -> "no fit"
+          in
+          rej.(i) <- { Provenance.at_cycle = !cycle; reason } :: rej.(i)
+        end;
+        deferred := i :: !deferred
+      end
     done;
     List.iter (fun i -> Pqueue.push ready ~prio:prio.(i) ~tie:i i) !deferred;
     incr cycle
   done;
   Schedule.of_cycles g.Dfg.prog machine cycle_of
 
-let run ?priority ?release (g : Dfg.t) machine =
+let run ?tag ?priority ?release (g : Dfg.t) machine =
   Counters.incr c_runs;
-  let s = Span.with_ ~name:"sched.list" (fun () -> run_inner ?priority ?release g machine) in
+  let s = Span.with_ ~name:"sched.list" (fun () -> run_inner ?tag ?priority ?release g machine) in
   Lbd_model.observe_sync_spans d_sync_span s;
   s

@@ -19,6 +19,15 @@ module Machine := Isched_ir.Machine
     [priority] overrides the per-node priority (default: longest path to
     exit).  [release] gives each node an earliest issue cycle (default
     0).  Both are how {!Marker_sched} implements synchronization-marker
-    guidance. *)
+    guidance.
+
+    [tag] names the scheduler in {!Isched_obs.Provenance} decisions
+    (default ["list"]); {!Marker_sched} passes ["marker"] so its
+    placements are attributable. *)
 val run :
-  ?priority:int array -> ?release:int array -> Isched_dfg.Dfg.t -> Machine.t -> Schedule.t
+  ?tag:string ->
+  ?priority:int array ->
+  ?release:int array ->
+  Isched_dfg.Dfg.t ->
+  Machine.t ->
+  Schedule.t

@@ -33,7 +33,7 @@ let run_inner (g : Dfg.t) machine =
          sink's start unchanged while pushing the wait down. *)
       release.(w.Program.wait_instr) <- max 0 (asap.(w.Program.snk_instr) - 1))
     p.Program.waits;
-  List_sched.run ~priority ~release g machine
+  List_sched.run ~tag:"marker" ~priority ~release g machine
 
 (* Note: the marker scheduler drives {!List_sched.run} underneath, so
    every [sched.marker.runs] also counts one nested [sched.list.runs]

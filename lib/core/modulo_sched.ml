@@ -102,6 +102,7 @@ let rec_mii n arcs =
    scheduled neighbours and the modulo resource table.  Returns the
    cycle assignment or None. *)
 let attempt (p : Program.t) (m : Machine.t) ops arcs ~ii =
+  let prov = Isched_obs.Provenance.enabled () in
   let n = Array.length p.Program.body in
   let sched = Array.make n (-1) in
   (* height within the acyclic (omega = 0) subgraph *)
@@ -172,6 +173,34 @@ let attempt (p : Program.t) (m : Machine.t) ops arcs ~ii =
           incr c
         done;
         if not !placed then ok := false
+        else if prov then begin
+          let chosen = !c - 1 in
+          let rejections =
+            List.init (chosen - lb) (fun o ->
+                { Isched_obs.Provenance.at_cycle = lb + o;
+                  reason = Printf.sprintf "modulo reservation conflict (II=%d)" ii })
+          in
+          let binding =
+            List.fold_left
+              (fun acc a ->
+                if a.dst = i && sched.(a.src) >= 0 && a.src <> i then
+                  let t = sched.(a.src) + a.lat - (ii * a.omega) in
+                  match acc with
+                  | Some (best, _) when best >= t -> acc
+                  | _ ->
+                    Some
+                      ( t,
+                        { Isched_obs.Provenance.pred = a.src;
+                          latency = a.lat;
+                          arc = (if a.omega > 0 then "sync-src" else "data") } )
+                else acc)
+              None arcs
+            |> Option.map snd
+          in
+          Isched_obs.Provenance.record ~scheduler:"modulo" ~prog:p.Program.name ~instr:i
+            ~cycle:chosen ~ready:lb ~candidates:(List.length order) ~priority:height.(i)
+            ~rejections ?binding ()
+        end
       end)
     order;
   if !ok then Some sched else None

@@ -51,6 +51,33 @@ let fits t ~cycle i =
       done;
       !ok
 
+let reject_reason t ~cycle i =
+  (* Diagnostic twin of [fits]: [None] iff [fits] is true, otherwise the
+     first constraint refusing the cycle, named.  Pure query — used by
+     provenance recording, never by placement itself. *)
+  if cycle < 0 then Some "negative cycle"
+  else if Vec.get_or t.issue_used cycle 0 >= t.machine.Machine.issue_width then
+    Some
+      (Printf.sprintf "issue width full (%d/%d)" (Vec.get_or t.issue_used cycle 0)
+         t.machine.Machine.issue_width)
+  else
+    match Instr.fu i with
+    | None -> None
+    | Some kind ->
+      let k = Fu.index kind in
+      let avail = Machine.fu_count t.machine kind in
+      let d = duration t kind in
+      let tbl = t.fu_used.(k) in
+      let busy = ref None in
+      for c = cycle to cycle + d - 1 do
+        if !busy = None && Vec.get_or tbl c 0 >= avail then busy := Some c
+      done;
+      (match !busy with
+      | None -> None
+      | Some c ->
+        Some
+          (Printf.sprintf "%s busy (%d/%d) at cycle %d" (Fu.name kind) (Vec.get_or tbl c 0) avail c))
+
 let bump tbl c =
   Vec.ensure_size tbl (c + 1) 0;
   Vec.set tbl c (Vec.get tbl c + 1)

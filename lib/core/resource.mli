@@ -16,6 +16,12 @@ val create : Machine.t -> t
 (** [fits t ~cycle i] — can [i] issue at [cycle]? *)
 val fits : t -> cycle:int -> Instr.t -> bool
 
+(** [reject_reason t ~cycle i] — [None] exactly when {!fits} holds;
+    otherwise the first constraint refusing the cycle, rendered for
+    provenance (e.g. ["issue width full (4/4)"], ["mul busy (1/1) at
+    cycle 3"]).  Pure query; never perturbs placement. *)
+val reject_reason : t -> cycle:int -> Instr.t -> string option
+
 (** [reserve t ~cycle i] commits the resources.  Raises
     [Invalid_argument] when it does not fit (callers must check). *)
 val reserve : t -> cycle:int -> Instr.t -> unit

@@ -4,6 +4,7 @@ module Instr = Isched_ir.Instr
 module Dfg = Isched_dfg.Dfg
 module Span = Isched_obs.Span
 module Counters = Isched_obs.Counters
+module Provenance = Isched_obs.Provenance
 
 let c_runs = Counters.counter "sched.new.runs"
 let c_fallbacks = Counters.counter "sched.new.list_fallback"
@@ -20,6 +21,8 @@ type state = {
   (* wait node -> send node, for pairs that must become LFD (no
      wait->send path exists); waits heading a sync path are absent. *)
   lfd_wait_send : (int, int) Hashtbl.t;
+  prov : bool;  (* provenance recording enabled, read once per run *)
+  prio : int array;  (* longest path to exit, the phase-3 priority *)
 }
 
 let placed st i = st.cycle_of.(i) >= 0
@@ -29,29 +32,76 @@ let ready_cycle st i =
     (fun acc (a : Dfg.arc) -> max acc (st.cycle_of.(a.src) + a.latency))
     0 st.g.Dfg.preds.(i)
 
+(* The refused probes of a [first_fit] scan, re-derived after the fact:
+   reserving at [stop] frees nothing, so [reject_reason] still answers
+   for every cycle in [start, stop). *)
+let rejections_between st ~start ~stop ins =
+  let rec go c acc =
+    if c >= stop then List.rev acc
+    else
+      let acc =
+        match Resource.reject_reason st.res ~cycle:c ins with
+        | Some reason -> { Provenance.at_cycle = c; reason } :: acc
+        | None -> acc
+      in
+      go (c + 1) acc
+  in
+  go start []
+
+(* The dependence arc that set [ready_cycle], for binding attribution. *)
+let binding_arc st i =
+  List.fold_left
+    (fun acc (a : Dfg.arc) ->
+      let t = st.cycle_of.(a.src) + a.latency in
+      match acc with
+      | Some (best, _) when best >= t -> acc
+      | _ ->
+        Some (t, { Provenance.pred = a.src; latency = a.latency; arc = Dfg.arc_kind_name a.kind }))
+    None st.g.Dfg.preds.(i)
+  |> Option.map snd
+
 (* Place node [i] (and, recursively, its unscheduled ancestors) at the
    earliest feasible cycle >= [from].  Waits registered in
-   [lfd_wait_send] are additionally forced after their send. *)
-let rec place st ?(from = 0) i =
+   [lfd_wait_send] are additionally forced after their send.  [ctx], when
+   given, names the constraint behind a caller-imposed [from] floor (the
+   sync-path contiguity of [place_path]); it becomes the decision's
+   binding when that floor dominates the dependence-readiness cycle. *)
+let rec place st ?(from = 0) ?ctx i =
   if not (placed st i) then begin
     List.iter (fun (a : Dfg.arc) -> place st a.src) st.g.Dfg.preds.(i);
+    let from_outer = from in
+    let lfd_send = Hashtbl.find_opt st.lfd_wait_send i in
     let from =
-      match Hashtbl.find_opt st.lfd_wait_send i with
+      match lfd_send with
       | Some send ->
         place st send;
         max from (st.cycle_of.(send) + 1)
       | None -> from
     in
     let ins = st.g.Dfg.prog.Program.body.(i) in
-    let c = Resource.first_fit st.res ~from:(max from (ready_cycle st i)) ins in
+    let ready = ready_cycle st i in
+    let start = max from ready in
+    let c = Resource.first_fit st.res ~from:start ins in
     Resource.reserve st.res ~cycle:c ins;
-    st.cycle_of.(i) <- c
+    st.cycle_of.(i) <- c;
+    if st.prov then begin
+      let binding =
+        match lfd_send with
+        | Some send when st.cycle_of.(send) + 1 >= ready && st.cycle_of.(send) + 1 >= from_outer
+          -> Some { Provenance.pred = send; latency = 1; arc = "sync-order" }
+        | _ -> if from_outer > ready then ctx else binding_arc st i
+      in
+      Provenance.record ~scheduler:"new" ~prog:st.g.Dfg.prog.Program.name ~instr:i ~cycle:c
+        ~ready ~candidates:1 ~priority:st.prio.(i)
+        ~rejections:(rejections_between st ~start ~stop:c ins)
+        ?binding ()
+    end
   end
 
 (* Place a node at the earliest feasible cycle >= [from] and return the
    chosen cycle. *)
-let place_at_least st i ~from =
-  place st ~from i;
+let place_at_least st i ~from ?ctx () =
+  place st ~from ?ctx i;
   st.cycle_of.(i)
 
 (* --- synchronization paths --- *)
@@ -138,7 +188,14 @@ let place_path st (p : Dfg.sync_path) =
     Array.iteri
       (fun i v ->
         if not (placed st v) then begin
-          let c = place_at_least st v ~from:(!start + offs.(i)) in
+          let ctx =
+            if i = 0 then { Provenance.pred = -1; latency = 0; arc = "sync-path" }
+            else
+              { Provenance.pred = nodes.(i - 1);
+                latency = offs.(i) - offs.(i - 1);
+                arc = "sync-path" }
+          in
+          let c = place_at_least st v ~from:(!start + offs.(i)) ~ctx () in
           if c > !start + offs.(i) then start := c - offs.(i)
         end
         else start := max !start (st.cycle_of.(v) - offs.(i)))
@@ -154,6 +211,8 @@ let run_inner ~options (g : Dfg.t) machine =
       res = Resource.create machine;
       cycle_of = Array.make n (-1);
       lfd_wait_send = Hashtbl.create 8;
+      prov = Provenance.enabled ();
+      prio = Dfg.longest_path_to_exit g;
     }
   in
   let paths = Dfg.sync_paths g in
@@ -205,7 +264,7 @@ let run_inner ~options (g : Dfg.t) machine =
      order) so the fill is as dense as the list scheduler's.  Waits
      constrained to follow their sends do so via [lfd_wait_send] inside
      [place]. *)
-  let prio = Dfg.longest_path_to_exit g in
+  let prio = st.prio in
   let order = Array.init n (fun i -> i) in
   Array.sort (fun a b -> compare (-prio.(a), a) (-prio.(b), b)) order;
   Array.iter (fun i -> place st i) order;

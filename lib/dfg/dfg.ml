@@ -4,6 +4,12 @@ module Program = Isched_ir.Program
 type arc_kind = Data | Mem | Sync_src | Sync_snk
 type arc = { src : int; dst : int; latency : int; kind : arc_kind }
 
+let arc_kind_name = function
+  | Data -> "data"
+  | Mem -> "mem"
+  | Sync_src -> "sync-src"
+  | Sync_snk -> "sync-snk"
+
 type t = {
   prog : Program.t;
   n : int;

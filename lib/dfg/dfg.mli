@@ -20,6 +20,10 @@ type arc_kind = Data | Mem | Sync_src | Sync_snk
 
 type arc = { src : int; dst : int; latency : int; kind : arc_kind }
 
+(** [arc_kind_name k] — ["data"], ["mem"], ["sync-src"] or ["sync-snk"];
+    the vocabulary used by provenance bindings and the explain output. *)
+val arc_kind_name : arc_kind -> string
+
 type t = {
   prog : Program.t;
   n : int;  (** number of nodes = body length *)

@@ -1,0 +1,179 @@
+module Json = Isched_obs.Json
+
+type run = {
+  git_rev : string;
+  unix_time : float;
+  jobs : int;
+  smoke : bool;
+  wall_clock_seconds : float;
+  stage_seconds : (string * float) list;
+  table_totals : (string * (int * int)) list;  (* config -> (t_list, t_new) *)
+}
+
+type stat = { mean : float; stddev : float; samples : int }
+
+type regression = { metric : string; baseline : stat; candidate : float; ratio : float }
+
+type comparison = {
+  candidate : run;
+  baseline_runs : int;
+  stage_stats : (string * stat) list;
+  regressions : regression list;
+}
+
+let stats_of = function
+  | [] -> { mean = 0.; stddev = 0.; samples = 0 }
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    let mean = List.fold_left ( +. ) 0. xs /. n in
+    let var = List.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. xs /. n in
+    { mean; stddev = sqrt var; samples = List.length xs }
+
+let run_of_json v =
+  let open Json in
+  let num k = Option.bind (member k v) to_float in
+  let str k = Option.bind (member k v) to_str in
+  let bool_ k = Option.bind (member k v) to_bool in
+  match (num "wall_clock_seconds", num "jobs") with
+  | Some wall, Some jobs ->
+    let pairs k =
+      match Option.bind (member k v) to_obj with None -> [] | Some kvs -> kvs
+    in
+    let stage_seconds =
+      List.filter_map
+        (fun (k, x) -> Option.map (fun f -> (k, f)) (to_float x))
+        (pairs "stage_seconds")
+    in
+    let table_totals =
+      List.filter_map
+        (fun (k, x) ->
+          match (Option.bind (member "t_list" x) to_float, Option.bind (member "t_new" x) to_float)
+          with
+          | Some tl, Some tn -> Some ((k, (int_of_float tl, int_of_float tn)) : string * (int * int))
+          | _ -> None)
+        (pairs "table_totals")
+    in
+    Some
+      {
+        git_rev = Option.value ~default:"unknown" (str "git_rev");
+        unix_time = Option.value ~default:0. (num "unix_time");
+        jobs = int_of_float jobs;
+        smoke = Option.value ~default:false (bool_ "smoke");
+        wall_clock_seconds = wall;
+        stage_seconds;
+        table_totals;
+      }
+  | _ -> None
+
+let parse_history s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok v -> (
+    match Option.bind (Json.member "runs" v) Json.to_list with
+    | None -> Error "no \"runs\" array"
+    | Some runs -> Ok (List.filter_map run_of_json runs))
+
+let compare_latest ?(threshold = 0.20) runs =
+  match List.rev runs with
+  | [] -> Error "history is empty"
+  | candidate :: older ->
+    let baseline =
+      List.filter (fun r -> r.jobs = candidate.jobs && r.smoke = candidate.smoke) older
+    in
+    let stat_of f rs = stats_of (List.map f rs) in
+    let check metric baseline_stat value regressions =
+      (* Only flag against a meaningful baseline: a zero mean (metric
+         absent in every prior run) can not regress. *)
+      if baseline_stat.samples = 0 || baseline_stat.mean <= 0. then regressions
+      else
+        let ratio = value /. baseline_stat.mean in
+        if ratio > 1. +. threshold then
+          { metric; baseline = baseline_stat; candidate = value; ratio } :: regressions
+        else regressions
+    in
+    let regressions =
+      check "wall_clock_seconds"
+        (stat_of (fun r -> r.wall_clock_seconds) baseline)
+        candidate.wall_clock_seconds []
+    in
+    let regressions =
+      List.fold_left
+        (fun acc (config, (tl, tn)) ->
+          let pick f r = Option.map f (List.assoc_opt config r.table_totals) in
+          let base_list = List.filter_map (pick (fun (l, _) -> float_of_int l)) baseline in
+          let base_new = List.filter_map (pick (fun (_, n) -> float_of_int n)) baseline in
+          check
+            (Printf.sprintf "table_totals.%s.t_list" config)
+            (stats_of base_list) (float_of_int tl)
+            (check
+               (Printf.sprintf "table_totals.%s.t_new" config)
+               (stats_of base_new) (float_of_int tn) acc))
+        regressions candidate.table_totals
+    in
+    let stage_stats =
+      List.map
+        (fun (name, _) ->
+          ( name,
+            stats_of
+              (List.filter_map (fun r -> List.assoc_opt name r.stage_seconds) baseline) ))
+        candidate.stage_seconds
+    in
+    Ok
+      {
+        candidate;
+        baseline_runs = List.length baseline;
+        stage_stats;
+        regressions = List.rev regressions;
+      }
+
+let render_comparison c =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "perf comparison: candidate %s (jobs=%d, smoke=%b) vs %d prior run(s)\n"
+    (if String.length c.candidate.git_rev > 12 then String.sub c.candidate.git_rev 0 12
+     else c.candidate.git_rev)
+    c.candidate.jobs c.candidate.smoke c.baseline_runs;
+  if c.baseline_runs = 0 then add "no matching baseline runs: nothing to compare against — OK\n"
+  else begin
+    add "  wall clock: %.3f s\n" c.candidate.wall_clock_seconds;
+    List.iter
+      (fun (name, st) ->
+        let now = List.assoc_opt name c.candidate.stage_seconds in
+        add "  stage %-24s now %s, baseline mean %.3f s (stddev %.3f, n=%d)\n" name
+          (match now with Some s -> Printf.sprintf "%.3f s" s | None -> "-")
+          st.mean st.stddev st.samples)
+      c.stage_stats;
+    match c.regressions with
+    | [] -> add "no regression above threshold — OK\n"
+    | rs ->
+      List.iter
+        (fun r ->
+          add "REGRESSION %s: %.3f vs baseline mean %.3f (x%.2f, stddev %.3f, n=%d)\n" r.metric
+            r.candidate r.baseline.mean r.ratio r.baseline.stddev r.baseline.samples)
+        rs
+  end;
+  Buffer.contents buf
+
+let ok c = c.regressions = []
+
+(* --- history rotation --- *)
+
+let rotate_history ?(keep = 200) contents =
+  (* Rotation happens at the generic JSON level so fields this module
+     does not model (the counters snapshots) survive verbatim. *)
+  match Json.parse contents with
+  | Error _ -> None
+  | Ok v -> (
+    match Option.bind (Json.member "runs" v) Json.to_list with
+    | None -> None
+    | Some runs when List.length runs <= keep -> None
+    | Some runs ->
+      let dropped = List.length runs - keep in
+      let kept = List.filteri (fun i _ -> i >= dropped) runs in
+      let v' =
+        match v with
+        | Json.Obj kvs ->
+          Json.Obj (List.map (fun (k, x) -> if k = "runs" then (k, Json.Arr kept) else (k, x)) kvs)
+        | _ -> Json.Obj [ ("runs", Json.Arr kept) ]
+      in
+      Some (Json.to_string v' ^ "\n"))

@@ -1,0 +1,61 @@
+(** Perf-regression gate over the bench harness's history file
+    ([BENCH_results.json]): parses the run records, compares the newest
+    run against the mean of the prior runs at the same [jobs]/[smoke]
+    setting, and flags wall-clock or [table_totals] growth beyond a
+    threshold.  Drives [bench/main.exe --compare]; the logic lives here
+    so the test suite can exercise it on synthetic histories. *)
+
+(** One bench run, the modeled subset of a record (unknown fields are
+    ignored when parsing and preserved by {!rotate_history}). *)
+type run = {
+  git_rev : string;
+  unix_time : float;
+  jobs : int;
+  smoke : bool;
+  wall_clock_seconds : float;
+  stage_seconds : (string * float) list;
+  table_totals : (string * (int * int)) list;  (** config -> (t_list, t_new) *)
+}
+
+type stat = { mean : float; stddev : float; samples : int }
+
+type regression = {
+  metric : string;  (** e.g. ["wall_clock_seconds"], ["table_totals.<config>.t_new"] *)
+  baseline : stat;
+  candidate : float;
+  ratio : float;  (** candidate / baseline mean *)
+}
+
+type comparison = {
+  candidate : run;  (** the newest run *)
+  baseline_runs : int;  (** prior runs at matching jobs/smoke *)
+  stage_stats : (string * stat) list;  (** per-stage baseline mean/stddev *)
+  regressions : regression list;
+}
+
+(** [stats_of xs] — population mean/stddev. *)
+val stats_of : float list -> stat
+
+(** [parse_history s] — the run records of one history document, oldest
+    first.  Records missing the required numeric fields are skipped. *)
+val parse_history : string -> (run list, string) result
+
+(** [compare_latest ?threshold runs] — newest run vs the mean of the
+    prior runs with the same [jobs] and [smoke].  A metric regresses
+    when [candidate > (1 + threshold) * mean] (default threshold 0.20).
+    A candidate with no matching baseline compares OK — first runs must
+    not fail the gate.  [Error] on an empty history. *)
+val compare_latest : ?threshold:float -> run list -> (comparison, string) result
+
+(** [ok c] — no regression was flagged. *)
+val ok : comparison -> bool
+
+(** [render_comparison c] — the human report [--compare] prints. *)
+val render_comparison : comparison -> string
+
+(** [rotate_history ?keep contents] — [Some rewritten] with only the
+    newest [keep] (default 200) runs when [contents] parses and exceeds
+    the bound; [None] when nothing needs rewriting (or the document is
+    unparseable — the caller keeps it untouched rather than destroying
+    history).  Unknown run fields survive verbatim. *)
+val rotate_history : ?keep:int -> string -> string option

@@ -150,6 +150,22 @@ let schedule ?(options = default_options) ?(validate = false) prepared machine w
      | Doacross { graph; _ } -> validate_schedule which s graph);
   s
 
+let scheduler_tag = function
+  | List_scheduling -> "list"
+  | Marker_scheduling -> "marker"
+  | New_scheduling -> "new"
+
+let schedule_traced ?(options = default_options) ?validate prepared machine which =
+  let module Provenance = Isched_obs.Provenance in
+  let was = Provenance.enabled () in
+  Provenance.reset ();
+  Provenance.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Provenance.set_enabled was)
+    (fun () ->
+      let s = schedule ~options ?validate prepared machine which in
+      (s, Provenance.decisions ()))
+
 let loop_time ?(options = default_options) ?validate prepared machine which =
   let s = schedule ~options ?validate prepared machine which in
   (Isched_sim.Timing.run s).Isched_sim.Timing.finish

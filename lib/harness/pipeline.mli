@@ -76,6 +76,25 @@ val schedule :
   ?options:options -> ?validate:bool -> prepared -> Machine.t -> scheduler ->
   Isched_core.Schedule.t
 
+(** [schedule_traced ?options ?validate prepared m which] — {!schedule}
+    with {!Isched_obs.Provenance} recording enabled for the duration:
+    resets the decision ring, schedules, and returns the schedule paired
+    with its decision list (every placement of the run, including those
+    of a nested baseline comparison).  The prior enabled state is
+    restored on exit, even on exceptions.  The schedule is byte-identical
+    to an untraced {!schedule} (pinned by the property suite). *)
+val schedule_traced :
+  ?options:options ->
+  ?validate:bool ->
+  prepared ->
+  Machine.t ->
+  scheduler ->
+  Isched_core.Schedule.t * Isched_obs.Provenance.decision list
+
+(** [scheduler_tag which] — the short tag the schedulers stamp on their
+    provenance decisions: ["list"], ["marker"] or ["new"]. *)
+val scheduler_tag : scheduler -> string
+
 (** [loop_time ?options ?validate prepared m which] — parallel execution
     time of the loop from the timing simulator ({!Isched_sim.Timing}).
     Like the paper's statistics, only DOACROSS loops are measured;

@@ -13,3 +13,190 @@ let escape s =
   Buffer.contents b
 
 let quote s = "\"" ^ escape s ^ "\""
+
+(* --- a small JSON value type with a strict parser --- *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+exception Malformed of string * int
+
+let parse_exn (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Malformed (msg, !pos)) in
+  let peek () = if !pos >= n then fail "unexpected end of input" else s.[!pos] in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected '%c'" c) else advance ()
+  in
+  let parse_lit lit v =
+    String.iter (fun c -> if peek () <> c then fail ("bad literal " ^ lit) else advance ()) lit;
+    v
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char b '"'; advance ()
+        | '\\' -> Buffer.add_char b '\\'; advance ()
+        | '/' -> Buffer.add_char b '/'; advance ()
+        | 'b' -> Buffer.add_char b '\b'; advance ()
+        | 'f' -> Buffer.add_char b '\012'; advance ()
+        | 'n' -> Buffer.add_char b '\n'; advance ()
+        | 'r' -> Buffer.add_char b '\r'; advance ()
+        | 't' -> Buffer.add_char b '\t'; advance ()
+        | 'u' ->
+          advance ();
+          let cp = ref 0 in
+          for _ = 1 to 4 do
+            cp := (!cp * 16) + hex_digit (peek ());
+            advance ()
+          done;
+          (* UTF-8 encode the BMP code point (surrogate pairs are left as
+             two separately-encoded halves; our own emitter never
+             produces them). *)
+          let cp = !cp in
+          if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+          else if cp < 0x800 then begin
+            Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
+            Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+          end
+          else begin
+            Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+            Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+            Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+          end
+        | _ -> fail "bad escape");
+        go ()
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    while
+      !pos < n && match s.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
+    do
+      advance ()
+    done;
+    if !pos = start then fail "bad number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+    | '"' -> Str (parse_string ())
+    | 't' -> parse_lit "true" (Bool true)
+    | 'f' -> parse_lit "false" (Bool false)
+    | 'n' -> parse_lit "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Malformed (msg, pos) -> Error (Printf.sprintf "%s at offset %d" msg pos)
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Num f -> number_to_string f
+  | Str s -> quote s
+  | Arr vs -> "[" ^ String.concat ", " (List.map to_string vs) ^ "]"
+  | Obj kvs ->
+    "{" ^ String.concat ", " (List.map (fun (k, v) -> quote k ^ ": " ^ to_string v) kvs) ^ "}"
+
+(* --- accessors --- *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function Arr vs -> Some vs | _ -> None
+let to_obj = function Obj kvs -> Some kvs | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None

@@ -1,6 +1,13 @@
-(** Minimal JSON emission helpers shared by the two exporters
-    ({!Span.export_json} and {!Counters.to_json}), so every string that
-    reaches a JSON document goes through one escaping implementation. *)
+(** Minimal JSON support shared by the observability exporters
+    ({!Span.export_json}, {!Counters.to_json}) and the bench-history
+    tooling: string escaping for the emitters, plus a strict value-level
+    parser/serializer for the files we both write and read back
+    ([BENCH_results.json], counter snapshots).
+
+    This is intentionally not a general-purpose JSON library — no
+    streaming, no number fidelity beyond [float] — but the parser is
+    strict (it rejects malformed documents rather than guessing), which
+    keeps the emitters honest. *)
 
 (** [escape s] — [s] with the JSON string escapes applied: double
     quote, backslash, and control characters ([\n] and [\t] by name,
@@ -10,3 +17,34 @@ val escape : string -> string
 
 (** [quote s] — [escape s] wrapped in double quotes. *)
 val quote : string -> string
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list  (** members in document order *)
+
+exception Malformed of string * int  (** message, byte offset *)
+
+(** [parse_exn s] parses one JSON document.  Raises {!Malformed} on any
+    deviation, including trailing garbage. *)
+val parse_exn : string -> value
+
+(** [parse s] — {!parse_exn} with the error rendered as a message. *)
+val parse : string -> (value, string) result
+
+(** [to_string v] serializes compactly (single line).  Numbers that are
+    integral print without a fraction part; other numbers round-trip to
+    12 significant digits. *)
+val to_string : value -> string
+
+(** Shallow accessors, each [None] on a kind mismatch. *)
+
+val member : string -> value -> value option
+val to_float : value -> float option
+val to_str : value -> string option
+val to_list : value -> value list option
+val to_obj : value -> (string * value) list option
+val to_bool : value -> bool option

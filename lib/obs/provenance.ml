@@ -1,0 +1,95 @@
+type rejection = { at_cycle : int; reason : string }
+type binding = { pred : int; latency : int; arc : string }
+
+type decision = {
+  seq : int;
+  scheduler : string;
+  prog : string;
+  instr : int;
+  cycle : int;
+  ready : int;
+  candidates : int;
+  priority : int;
+  rejections : rejection list;
+  binding : binding option;
+}
+
+(* Recording is off by default and the hot-path guard is one atomic
+   read, exactly like [Span]: schedulers check [enabled ()] once per run
+   and skip every bit of bookkeeping (candidate counting, rejection
+   reasons, binding-arc attribution) when it is off, so the permanent
+   instrumentation is free in production runs.
+
+   The store is a ring: the newest [capacity] decisions are retained and
+   older ones are overwritten (and counted), bounding the live heap of a
+   long traced run the same way the span log is bounded. *)
+
+let enabled_flag = Atomic.make false
+let lock = Mutex.create ()
+let default_capacity = 1 lsl 16
+let capacity = ref default_capacity
+let ring : decision option array ref = ref (Array.make default_capacity None)
+let total = ref 0
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Provenance.set_capacity: capacity must be >= 1";
+  Mutex.protect lock (fun () ->
+      capacity := n;
+      ring := Array.make n None;
+      total := 0)
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      total := 0)
+
+let record ~scheduler ~prog ~instr ~cycle ~ready ~candidates ~priority ?(rejections = [])
+    ?binding () =
+  if Atomic.get enabled_flag then
+    Mutex.protect lock (fun () ->
+        let seq = !total in
+        let d =
+          { seq; scheduler; prog; instr; cycle; ready; candidates; priority; rejections; binding }
+        in
+        !ring.(seq mod !capacity) <- Some d;
+        incr total)
+
+let recorded () = Mutex.protect lock (fun () -> !total)
+let overwritten () = Mutex.protect lock (fun () -> max 0 (!total - !capacity))
+
+let decisions () =
+  Mutex.protect lock (fun () ->
+      let cap = !capacity and t = !total in
+      let k = min cap t in
+      List.init k (fun i -> Option.get !ring.((t - k + i) mod cap)))
+
+let binding_json (b : binding) =
+  Printf.sprintf "{ \"pred\": %d, \"latency\": %d, \"arc\": %s }" b.pred b.latency (Json.quote b.arc)
+
+let rejection_json (r : rejection) =
+  Printf.sprintf "{ \"at_cycle\": %d, \"reason\": %s }" r.at_cycle (Json.quote r.reason)
+
+let decision_json (d : decision) =
+  Printf.sprintf
+    "{ \"seq\": %d, \"scheduler\": %s, \"prog\": %s, \"instr\": %d, \"cycle\": %d, \"ready\": \
+     %d, \"candidates\": %d, \"priority\": %d, \"rejections\": [%s], \"binding\": %s }"
+    d.seq (Json.quote d.scheduler) (Json.quote d.prog) d.instr d.cycle d.ready d.candidates
+    d.priority
+    (String.concat ", " (List.map rejection_json d.rejections))
+    (match d.binding with None -> "null" | Some b -> binding_json b)
+
+let pp_decision ppf (d : decision) =
+  Format.fprintf ppf "[%s #%d] instr %d -> cycle %d (ready %d, prio %d, %d candidate(s)%s)"
+    d.scheduler d.seq (d.instr + 1) (d.cycle + 1) (d.ready + 1) d.priority d.candidates
+    (match d.rejections with
+    | [] -> ""
+    | rs -> Printf.sprintf ", %d rejection(s)" (List.length rs));
+  match d.binding with
+  | None -> ()
+  | Some b ->
+    if b.pred >= 0 then
+      Format.fprintf ppf "; bound by %s arc from instr %d (lat %d)" b.arc (b.pred + 1) b.latency
+    else Format.fprintf ppf "; bound by %s constraint" b.arc

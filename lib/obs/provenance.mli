@@ -1,0 +1,94 @@
+(** Decision provenance: a bounded ring of structured scheduling
+    decisions, one per instruction placement, emitted by every scheduler
+    in [lib/core] (list, marker-guided, new/sync-aware, modulo).
+
+    Where {!Span} answers "how long did scheduling take" and
+    {!Counters} "how often did the fast path engage", this layer answers
+    {e why an instruction landed where it did}: the cycle its operands
+    were ready, the size of the candidate set it was drawn from, its
+    priority key, every resource slot it was refused (with the refusing
+    resource), and the binding constraint — the dependence arc or
+    synchronization condition ([Src -> Sig] / [Wat -> Snk]) that fixed
+    its earliest cycle.  The paper's LBD cost [(n/d)(i-j) + l] is
+    decided instruction-by-instruction, so this is the record a schedule
+    explainer needs to attribute each pair's [i] and [j] to a cause.
+
+    Recording is {b off by default}; when off, an instrumented scheduler
+    pays one atomic read per run and skips all bookkeeping, so schedules
+    are byte-identical with recording on and off (pinned by the property
+    suite).  Safe from any domain: recording takes a mutex, which is
+    acceptable because it only happens when explicitly enabled. *)
+
+(** One refused placement probe: the cycle tried and the resource that
+    refused it (e.g. ["issue width full (4/4)"], ["mul busy (1/1)"]). *)
+type rejection = { at_cycle : int; reason : string }
+
+(** The constraint that fixed the decision's earliest cycle.  [pred] is
+    the body index of the constraining instruction ([-1] when the
+    constraint is not another instruction); [arc] names the constraint
+    kind: ["data"], ["mem"], ["sync-src"], ["sync-snk"] (data-flow-graph
+    arcs), ["sync-order"] (a forced send-before-wait ordering),
+    ["sync-path"] (contiguity of a synchronization path), ["release"]
+    (a marker release cycle). *)
+type binding = { pred : int; latency : int; arc : string }
+
+type decision = {
+  seq : int;  (** monotonic sequence number across the process *)
+  scheduler : string;  (** ["list"], ["marker"], ["new"], ["modulo"] *)
+  prog : string;  (** program name the placement belongs to *)
+  instr : int;  (** body index (0-based) of the placed instruction *)
+  cycle : int;  (** final issue cycle chosen (0-based) *)
+  ready : int;  (** earliest cycle the operands allowed *)
+  candidates : int;  (** size of the candidate set it was drawn from *)
+  priority : int;  (** priority key in force at the decision *)
+  rejections : rejection list;  (** refused probes, earliest first *)
+  binding : binding option;  (** what fixed the earliest cycle, if known *)
+}
+
+(** [set_enabled b] turns recording on or off process-wide. *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** [record ~scheduler ~prog ~instr ~cycle ~ready ~candidates ~priority
+    ?rejections ?binding ()] appends one decision.  No-op when recording
+    is disabled. *)
+val record :
+  scheduler:string ->
+  prog:string ->
+  instr:int ->
+  cycle:int ->
+  ready:int ->
+  candidates:int ->
+  priority:int ->
+  ?rejections:rejection list ->
+  ?binding:binding ->
+  unit ->
+  unit
+
+(** [decisions ()] — the retained decisions, oldest first ([seq]
+    ascending).  At most {!set_capacity} entries are retained; older
+    ones are overwritten and counted by {!overwritten}. *)
+val decisions : unit -> decision list
+
+(** [recorded ()] — decisions recorded since the last {!reset},
+    including overwritten ones. *)
+val recorded : unit -> int
+
+(** [overwritten ()] — decisions lost to the ring bound. *)
+val overwritten : unit -> int
+
+(** [set_capacity n] re-sizes the ring (dropping its contents).  Raises
+    [Invalid_argument] on [n < 1].  Default: 65536 decisions. *)
+val set_capacity : int -> unit
+
+(** [reset ()] drops every retained decision and restarts [seq]. *)
+val reset : unit -> unit
+
+(** [decision_json d] — one decision as a JSON object (schema in
+    doc/observability.md). *)
+val decision_json : decision -> string
+
+(** [pp_decision ppf d] — one-line human rendering, 1-based instruction
+    numbers and cycles like the paper's figures. *)
+val pp_decision : Format.formatter -> decision -> unit

@@ -75,6 +75,122 @@ let wavefront_svg ?n_procs ?max_iters (s : Schedule.t) =
   Buffer.add_string buf "</svg>\n";
   Buffer.contents buf
 
+let xml_escape label =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '<' -> "&lt;"
+         | '>' -> "&gt;"
+         | '&' -> "&amp;"
+         | '"' -> "&quot;"
+         | c -> String.make 1 c)
+       (List.init (String.length label) (String.get label)))
+
+(* Gantt of one iteration with the synchronization structure overlaid:
+   cycles on the vertical axis, issue slots on the horizontal, a
+   [Src -> Sig] arc (green) per signal and a [Wat -> Snk] arc (red) per
+   wait.  When a provenance trace is supplied, each instruction's box
+   carries its placement decision as a hover tooltip ([<title>]). *)
+let gantt_svg ?(decisions = []) (s : Schedule.t) =
+  let module Provenance = Isched_obs.Provenance in
+  let p = s.Schedule.prog in
+  let n = Array.length p.Program.body in
+  let cell_w = 150 and cell_h = 18 and left = 46 and top = 24 in
+  let width = s.Schedule.machine.Isched_ir.Machine.issue_width in
+  let w = left + (width * cell_w) + 20 in
+  let h = top + (s.Schedule.length * cell_h) + 30 in
+  (* body index -> (row, slot) *)
+  let slot_of = Array.make n (-1, -1) in
+  Array.iteri
+    (fun row nodes -> Array.iteri (fun slot i -> slot_of.(i) <- (row, slot)) nodes)
+    s.Schedule.rows;
+  let center i =
+    let row, slot = slot_of.(i) in
+    (left + (slot * cell_w) + (cell_w / 2), top + (row * cell_h) + (cell_h / 2))
+  in
+  let last_decision = Array.make n None in
+  List.iter
+    (fun (d : Provenance.decision) ->
+      if d.Provenance.instr >= 0 && d.Provenance.instr < n then
+        last_decision.(d.Provenance.instr) <- Some d)
+    decisions;
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (svg_header ~w ~h);
+  Buffer.add_string buf
+    "<defs>\n\
+     <marker id=\"arr-sig\" markerWidth=\"8\" markerHeight=\"8\" refX=\"6\" refY=\"3\" \
+     orient=\"auto\"><path d=\"M0,0 L6,3 L0,6 z\" fill=\"#44aa77\"/></marker>\n\
+     <marker id=\"arr-wat\" markerWidth=\"8\" markerHeight=\"8\" refX=\"6\" refY=\"3\" \
+     orient=\"auto\"><path d=\"M0,0 L6,3 L0,6 z\" fill=\"#cc4444\"/></marker>\n\
+     </defs>\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<text x=\"%d\" y=\"14\">%s: %d rows on %s (sync arcs: Src&#8594;Sig green, \
+                     Wat&#8594;Snk red)</text>\n"
+       left p.Program.name s.Schedule.length
+       (Isched_ir.Machine.name s.Schedule.machine));
+  Array.iteri
+    (fun row nodes ->
+      let y = top + (row * cell_h) in
+      Buffer.add_string buf
+        (Printf.sprintf "<text x=\"4\" y=\"%d\">%d</text>\n" (y + 13) (row + 1));
+      Array.iteri
+        (fun slot i ->
+          let x = left + (slot * cell_w) in
+          let ins = p.Program.body.(i) in
+          let fill = if Instr.is_sync ins then "#dd7755" else "#cfdcee" in
+          let label =
+            Format.asprintf "%d: %a" (i + 1)
+              (Instr.pp_full ~signal_name:(Program.signal_label p) ~wait_name:(Program.wait_label p))
+              ins
+          in
+          let tooltip =
+            match last_decision.(i) with
+            | None -> label
+            | Some d ->
+              let rej =
+                match d.Provenance.rejections with
+                | [] -> ""
+                | rs ->
+                  "\n"
+                  ^ String.concat "\n"
+                      (List.map
+                         (fun (r : Provenance.rejection) ->
+                           Printf.sprintf "  refused at cycle %d: %s" (r.Provenance.at_cycle + 1)
+                             r.Provenance.reason)
+                         rs)
+              in
+              Format.asprintf "%s\n%a%s" label Provenance.pp_decision d rej
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<g><title>%s</title><rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+                fill=\"%s\" stroke=\"#889\"/>\n\
+                <text x=\"%d\" y=\"%d\">%s</text></g>\n"
+               (xml_escape tooltip) x y (cell_w - 2) (cell_h - 2) fill (x + 3) (y + 13)
+               (xml_escape label)))
+        nodes)
+    s.Schedule.rows;
+  let arc ~color ~marker a b =
+    let xa, ya = center a and xb, yb = center b in
+    let bend = if xa = xb then 30 else 0 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<path d=\"M%d,%d C%d,%d %d,%d %d,%d\" fill=\"none\" stroke=\"%s\" \
+          stroke-width=\"1.5\" opacity=\"0.8\" marker-end=\"url(#%s)\"/>\n"
+         xa ya (xa + bend) ya (xb + bend) yb xb yb color marker)
+  in
+  Array.iter
+    (fun (si : Program.signal_info) ->
+      arc ~color:"#44aa77" ~marker:"arr-sig" si.Program.src_instr si.Program.send_instr)
+    p.Program.signals;
+  Array.iter
+    (fun (wi : Program.wait_info) ->
+      arc ~color:"#cc4444" ~marker:"arr-wat" wi.Program.wait_instr wi.Program.snk_instr)
+    p.Program.waits;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
 let schedule_svg (s : Schedule.t) =
   let p = s.Schedule.prog in
   let cell_w = 150 and cell_h = 16 and left = 40 in

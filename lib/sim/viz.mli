@@ -23,3 +23,12 @@ val wavefront_svg : ?n_procs:int -> ?max_iters:int -> Isched_core.Schedule.t -> 
 
 (** [schedule_svg s] — standalone SVG of the wide-instruction layout. *)
 val schedule_svg : Isched_core.Schedule.t -> string
+
+(** [gantt_svg ?decisions s] — standalone SVG Gantt of one iteration:
+    cycles down, issue slots across, every synchronization condition
+    overlaid as an arrowed arc ([Src -> Sig] green, [Wat -> Snk] red).
+    [decisions] (a {!Isched_obs.Provenance} trace of the run that built
+    [s]) attaches each instruction's placement decision — ready cycle,
+    priority, refused slots, binding constraint — as a hover tooltip. *)
+val gantt_svg :
+  ?decisions:Isched_obs.Provenance.decision list -> Isched_core.Schedule.t -> string

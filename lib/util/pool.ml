@@ -39,7 +39,13 @@ let run_indexed ~jobs f (items : 'a array) : 'b array =
       Span.with_ ~name:"pool.task" ~args:[ ("index", string_of_int i) ] (fun () -> f i x)
     else f i x
   in
+  (* Backtrace recording is per-domain in OCaml 5: without forwarding the
+     caller's status, a task that raises in a spawned domain loses its
+     raise site (empty backtrace) while the same task raising in the
+     caller's inline worker keeps it. *)
+  let record_bt = Printexc.backtrace_status () in
   let worker () =
+    Printexc.record_backtrace record_bt;
     let executed = ref 0 in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in

@@ -16,6 +16,7 @@ let () =
       ("check", Test_check.suite);
       ("perfect", Test_perfect.suite);
       ("harness", Test_harness.suite);
+      ("provenance", Test_provenance.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_props.suite);
     ]

@@ -323,6 +323,31 @@ let prop_tracing_inert =
       in
       plain = traced && plain = counters_off)
 
+let prop_provenance_inert =
+  qtest ~count:40 "observability: provenance recording never changes schedules" gen_loop_machine
+    (fun (l, m) ->
+      let run () =
+        match prepare l with
+        | Pipeline.Doall _ -> None
+        | Pipeline.Doacross _ as p ->
+          Some
+            (List.map
+               (fun which ->
+                 ((Pipeline.schedule p m which).Isched_core.Schedule.cycle_of, Pipeline.loop_time p m which))
+               Pipeline.all_schedulers)
+      in
+      let plain = run () in
+      let recorded =
+        Fun.protect
+          ~finally:(fun () ->
+            Isched_obs.Provenance.set_enabled false;
+            Isched_obs.Provenance.reset ())
+          (fun () ->
+            Isched_obs.Provenance.set_enabled true;
+            run ())
+      in
+      plain = recorded)
+
 let suite =
   [
     prop_compile_validates;
@@ -346,4 +371,5 @@ let suite =
     prop_stress_large;
     prop_all_schedulers_correct;
     prop_tracing_inert;
+    prop_provenance_inert;
   ]
