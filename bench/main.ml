@@ -31,17 +31,27 @@ type cli = {
   mutable counters : bool;
   mutable compare : bool;
   mutable bench_history : string option;
+  mutable stages : string list option;  (* None = every stage *)
 }
+
+(* The serial Bechamel micro stage dominates the full run's wall clock
+   (~3 s of quota-driven sampling), so scaling work on the parallel
+   stages is measured with [--stages tables,ablations] to keep the
+   signal out of the noise. *)
+let stage_names = [ "figures"; "tables"; "ablations"; "micro"; "artifacts" ]
 
 let usage () =
   prerr_endline
     "usage: main.exe [--jobs N] [--smoke] [--out FILE] [--trace FILE] [--counters]\n\
-    \                [--compare] [--bench-history FILE]\n\
+    \                [--stages LIST] [--compare] [--bench-history FILE]\n\
     \  --jobs N     width of the domain pool (default 1 = sequential)\n\
     \  --smoke      reduced run: 1 benchmark, 2 configs, tables only\n\
     \  --out FILE   perf record path (default BENCH_results.json)\n\
     \  --trace FILE write a Chrome/Perfetto trace_event JSON of the run\n\
     \  --counters   print the observability counter registry at the end\n\
+    \  --stages LIST  comma-separated subset of figures,tables,ablations,micro,artifacts\n\
+    \               to run (default: all); e.g. --stages tables,ablations isolates the\n\
+    \               parallel stages from the serial micro stage\n\
     \  --compare    perf-regression gate: compare the newest recorded run against the\n\
     \               mean of prior runs at matching --jobs/--smoke; exit 1 on a >20%\n\
     \               wall-clock or table_totals regression.  Runs no benchmarks.\n\
@@ -59,7 +69,13 @@ let parse_cli () =
       counters = false;
       compare = false;
       bench_history = None;
+      stages = None;
     }
+  in
+  let parse_stages s =
+    let names = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "") in
+    if names = [] || List.exists (fun n -> not (List.mem n stage_names)) names then usage ();
+    cli.stages <- Some names
   in
   let rec go = function
     | [] -> ()
@@ -84,17 +100,32 @@ let parse_cli () =
     | "--bench-history" :: path :: rest ->
       cli.bench_history <- Some path;
       go rest
+    | "--stages" :: list :: rest ->
+      parse_stages list;
+      go rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> go ("--jobs" :: String.sub arg 7 (String.length arg - 7) :: rest)
     | arg :: rest when String.length arg > 6 && String.sub arg 0 6 = "--out=" -> go ("--out" :: String.sub arg 6 (String.length arg - 6) :: rest)
     | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" -> go ("--trace" :: String.sub arg 8 (String.length arg - 8) :: rest)
     | arg :: rest when String.length arg > 16 && String.sub arg 0 16 = "--bench-history=" ->
       go ("--bench-history" :: String.sub arg 16 (String.length arg - 16) :: rest)
+    | arg :: rest when String.length arg > 9 && String.sub arg 0 9 = "--stages=" ->
+      go ("--stages" :: String.sub arg 9 (String.length arg - 9) :: rest)
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
   cli
 
 let history_path cli = match cli.bench_history with Some p -> p | None -> cli.out
+
+let stage_wanted cli name = match cli.stages with None -> true | Some l -> List.mem name l
+
+(* Canonical label recorded in the perf record; the --compare gate only
+   baselines runs against prior runs with the same label, so a
+   tables-only run never masquerades as a full run's baseline. *)
+let stages_label cli =
+  match cli.stages with
+  | None -> "all"
+  | Some l -> String.concat "," (List.filter (fun n -> List.mem n l) stage_names)
 
 (* --- stage timing --- *)
 
@@ -304,6 +335,7 @@ let emit_record ~path ~cli ~total (ms : Report.measurement list) =
   Buffer.add_string b (Printf.sprintf "      \"unix_time\": %.0f,\n" (Unix.time ()));
   Buffer.add_string b (Printf.sprintf "      \"jobs\": %d,\n" cli.jobs);
   Buffer.add_string b (Printf.sprintf "      \"smoke\": %b,\n" cli.smoke);
+  Buffer.add_string b (Printf.sprintf "      \"stages\": \"%s\",\n" (json_escape (stages_label cli)));
   Buffer.add_string b (Printf.sprintf "      \"wall_clock_seconds\": %.3f,\n" total);
   let hits, misses = Isched_harness.Pipeline.memo_stats () in
   Buffer.add_string b
@@ -387,12 +419,14 @@ let () =
       match Machine.paper_configs with a :: b :: _ -> [ a; b ] | short -> short
     else Machine.paper_configs
   in
-  if not cli.smoke then timed "figures" fig_1_to_4;
-  let ms = timed "tables" (fun () -> tables benches configs) in
+  if (not cli.smoke) && stage_wanted cli "figures" then timed "figures" fig_1_to_4;
+  let ms =
+    if stage_wanted cli "tables" then timed "tables" (fun () -> tables benches configs) else []
+  in
   if not cli.smoke then begin
-    timed "ablations" (fun () -> ablations benches);
-    timed "micro" micro;
-    timed "artifacts" artifacts
+    if stage_wanted cli "ablations" then timed "ablations" (fun () -> ablations benches);
+    if stage_wanted cli "micro" then timed "micro" micro;
+    if stage_wanted cli "artifacts" then timed "artifacts" artifacts
   end;
   let total = Unix.gettimeofday () -. t0 in
   emit_record ~path:(history_path cli) ~cli ~total ms;

@@ -22,7 +22,32 @@ type loop = {
   hi : int;
   body : stmt list;
   name : string;
+  digest : int;
+      (* Deep structural hash of every other field, fixed at
+         construction.  Downstream memo tables (Pipeline.prepare) key on
+         whole loops tens of thousands of times per bench run; the
+         default polymorphic hash only samples ~10 nodes of the AST and
+         collides across generated corpus loops, which degenerates those
+         tables into long chains compared with full structural equality.
+         Build loops through [make_loop]/[with_body]/[with_name] so the
+         digest stays consistent with structural equality: equal loops
+         always carry equal digests. *)
 }
+
+(* [hash_param] with large bounds walks the whole body instead of the
+   first handful of nodes, so distinct corpus loops get distinct
+   digests.  Deterministic across runs (no randomized seed). *)
+let compute_digest ~kind ~index ~lo ~hi ~body ~name =
+  Hashtbl.hash_param 1000 10000 (kind, index, lo, hi, body, name)
+
+let make_loop ~kind ~index ~lo ~hi ~body ~name =
+  { kind; index; lo; hi; body; name; digest = compute_digest ~kind ~index ~lo ~hi ~body ~name }
+
+let with_body l body =
+  make_loop ~kind:l.kind ~index:l.index ~lo:l.lo ~hi:l.hi ~body ~name:l.name
+
+let with_name l name =
+  make_loop ~kind:l.kind ~index:l.index ~lo:l.lo ~hi:l.hi ~body:l.body ~name
 
 let iterations l = max 0 (l.hi - l.lo + 1)
 

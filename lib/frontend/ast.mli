@@ -39,7 +39,24 @@ type loop = {
   hi : int;
   body : stmt list;
   name : string;  (** loop identifier for reports *)
+  digest : int;
+      (** deep structural hash of the other fields, fixed at
+          construction; memo tables keyed on loops hash on this instead
+          of re-walking the AST.  Maintained by the constructors below:
+          structurally equal loops carry equal digests. *)
 }
+
+(** [make_loop] computes the digest; use it (or [with_body]/[with_name])
+    instead of a record literal so the digest stays consistent with
+    structural equality. *)
+val make_loop :
+  kind:loop_kind -> index:string -> lo:int -> hi:int -> body:stmt list -> name:string -> loop
+
+(** [with_body l body] is [l] with a new body and a recomputed digest. *)
+val with_body : loop -> stmt list -> loop
+
+(** [with_name l name] is [l] renamed, with a recomputed digest. *)
+val with_name : loop -> string -> loop
 
 (** [iterations l] is [hi - lo + 1] (0 when empty). *)
 val iterations : loop -> int

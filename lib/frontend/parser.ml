@@ -186,7 +186,7 @@ let parse_loop_at st ~name =
   done;
   advance st (* ENDDO *);
   st.index_var <- None;
-  { Ast.kind; index; lo; hi; body = List.rev !body; name }
+  Ast.make_loop ~kind ~index ~lo ~hi ~body:(List.rev !body) ~name
 
 let parse ?(name = "loop") src =
   Isched_obs.Span.with_ ~name:"frontend.parse" (fun () ->
@@ -204,7 +204,7 @@ let parse ?(name = "loop") src =
 
 let parse_loop ?(name = "loop") src =
   match parse ~name src with
-  | [ l ] -> { l with Ast.name }
+  | [ l ] -> Ast.with_name l name
   | ls ->
     raise
       (Error { line = 1; col = 1; message = Printf.sprintf "expected exactly one loop, found %d" (List.length ls) })

@@ -5,6 +5,7 @@ type run = {
   unix_time : float;
   jobs : int;
   smoke : bool;
+  stages : string;
   wall_clock_seconds : float;
   stage_seconds : (string * float) list;
   table_totals : (string * (int * int)) list;  (* config -> (t_list, t_new) *)
@@ -59,6 +60,7 @@ let run_of_json v =
         unix_time = Option.value ~default:0. (num "unix_time");
         jobs = int_of_float jobs;
         smoke = Option.value ~default:false (bool_ "smoke");
+        stages = Option.value ~default:"all" (str "stages");
         wall_clock_seconds = wall;
         stage_seconds;
         table_totals;
@@ -78,16 +80,22 @@ let compare_latest ?(threshold = 0.20) runs =
   | [] -> Error "history is empty"
   | candidate :: older ->
     let baseline =
-      List.filter (fun r -> r.jobs = candidate.jobs && r.smoke = candidate.smoke) older
+      List.filter
+        (fun r ->
+          r.jobs = candidate.jobs && r.smoke = candidate.smoke && r.stages = candidate.stages)
+        older
     in
     let stat_of f rs = stats_of (List.map f rs) in
-    let check metric baseline_stat value regressions =
+    let check ?(floor = 0.) metric baseline_stat value regressions =
       (* Only flag against a meaningful baseline: a zero mean (metric
-         absent in every prior run) can not regress. *)
+         absent in every prior run) can not regress.  [floor] is the
+         minimum absolute slowdown worth flagging — per-stage times for
+         millisecond stages would otherwise trip the ratio on timer
+         noise alone. *)
       if baseline_stat.samples = 0 || baseline_stat.mean <= 0. then regressions
       else
         let ratio = value /. baseline_stat.mean in
-        if ratio > 1. +. threshold then
+        if ratio > 1. +. threshold && value -. baseline_stat.mean > floor then
           { metric; baseline = baseline_stat; candidate = value; ratio } :: regressions
         else regressions
     in
@@ -118,6 +126,17 @@ let compare_latest ?(threshold = 0.20) runs =
               (List.filter_map (fun r -> List.assoc_opt name r.stage_seconds) baseline) ))
         candidate.stage_seconds
     in
+    (* Gate each stage's seconds too: a regression confined to the
+       tables stage is invisible in the wall clock of a full run, where
+       the serial micro stage dominates. *)
+    let regressions =
+      List.fold_left
+        (fun acc (name, secs) ->
+          match List.assoc_opt name stage_stats with
+          | Some st -> check ~floor:0.05 (Printf.sprintf "stage_seconds.%s" name) st secs acc
+          | None -> acc)
+        regressions candidate.stage_seconds
+    in
     Ok
       {
         candidate;
@@ -129,10 +148,10 @@ let compare_latest ?(threshold = 0.20) runs =
 let render_comparison c =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "perf comparison: candidate %s (jobs=%d, smoke=%b) vs %d prior run(s)\n"
+  add "perf comparison: candidate %s (jobs=%d, smoke=%b, stages=%s) vs %d prior run(s)\n"
     (if String.length c.candidate.git_rev > 12 then String.sub c.candidate.git_rev 0 12
      else c.candidate.git_rev)
-    c.candidate.jobs c.candidate.smoke c.baseline_runs;
+    c.candidate.jobs c.candidate.smoke c.candidate.stages c.baseline_runs;
   if c.baseline_runs = 0 then add "no matching baseline runs: nothing to compare against — OK\n"
   else begin
     add "  wall clock: %.3f s\n" c.candidate.wall_clock_seconds;

@@ -12,6 +12,10 @@ type run = {
   unix_time : float;
   jobs : int;
   smoke : bool;
+  stages : string;
+      (** canonical stage-filter label (["all"] when the record predates
+          the [--stages] flag or ran everything); baselines only match
+          runs with the same label *)
   wall_clock_seconds : float;
   stage_seconds : (string * float) list;
   table_totals : (string * (int * int)) list;  (** config -> (t_list, t_new) *)
@@ -41,8 +45,13 @@ val stats_of : float list -> stat
 val parse_history : string -> (run list, string) result
 
 (** [compare_latest ?threshold runs] — newest run vs the mean of the
-    prior runs with the same [jobs] and [smoke].  A metric regresses
-    when [candidate > (1 + threshold) * mean] (default threshold 0.20).
+    prior runs with the same [jobs], [smoke] and [stages].  A metric
+    regresses when [candidate > (1 + threshold) * mean] (default
+    threshold 0.20).  Besides wall clock and [table_totals], every
+    per-stage time is gated individually, so a tables-stage regression
+    cannot hide behind the serial micro stage's share of the wall
+    clock; stage metrics additionally require the absolute slowdown to
+    exceed 50 ms, so timer noise on millisecond stages is not flagged.
     A candidate with no matching baseline compares OK — first runs must
     not fail the gate.  [Error] on an empty history. *)
 val compare_latest : ?threshold:float -> run list -> (comparison, string) result

@@ -45,8 +45,40 @@ type prep_key = {
   key_n_iters : int option;
 }
 
-let memo : (prep_key, prepared) Hashtbl.t = Hashtbl.create 64
-let memo_lock = Mutex.create ()
+(* Key hashing rides on the digest the frontend computed once at loop
+   construction: the default polymorphic hash samples only the first
+   handful of AST nodes, so generated corpus loops collided and every
+   probe degenerated into long-chain structural comparisons of whole
+   loops.  The digest check also serves as a cheap pre-filter before
+   the full structural equality on the rare chain collision. *)
+module Key = struct
+  type t = prep_key
+
+  let equal a b =
+    a.key_eliminate = b.key_eliminate
+    && a.key_migrate = b.key_migrate
+    && a.key_n_iters = b.key_n_iters
+    && (a.key_loop == b.key_loop
+       || (a.key_loop.Ast.digest = b.key_loop.Ast.digest && a.key_loop = b.key_loop))
+
+  let hash k =
+    k.key_loop.Ast.digest lxor Hashtbl.hash (k.key_eliminate, k.key_migrate, k.key_n_iters)
+end
+
+module Memo_tbl = Hashtbl.Make (Key)
+
+(* The memo is striped: [n_shards] independent (mutex, table) pairs,
+   indexed by the key's digest.  Concurrent table/ablation cells that
+   probe different loops then take different locks, instead of
+   serializing ~20k probes per bench run behind one global mutex. *)
+let n_shards = 16 (* power of two *)
+
+type shard = { shard_lock : Mutex.t; table : prepared Memo_tbl.t }
+
+let shards =
+  Array.init n_shards (fun _ -> { shard_lock = Mutex.create (); table = Memo_tbl.create 16 })
+
+let shard_for key = shards.(Key.hash key land (n_shards - 1))
 
 (* The memo accounting now lives in the process-wide counter registry
    (it used to be two private atomics) so --counters and the bench
@@ -57,7 +89,7 @@ let c_misses = Counters.counter "pipeline.memo.miss"
 let memo_stats () = (Counters.value c_hits, Counters.value c_misses)
 
 let memo_clear () =
-  Mutex.protect memo_lock (fun () -> Hashtbl.reset memo);
+  Array.iter (fun s -> Mutex.protect s.shard_lock (fun () -> Memo_tbl.reset s.table)) shards;
   Counters.reset_counter c_hits;
   Counters.reset_counter c_misses
 
@@ -84,7 +116,8 @@ let prepare ?(options = default_options) (l : Ast.loop) =
       key_n_iters = options.n_iters;
     }
   in
-  match Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key) with
+  let shard = shard_for key in
+  match Mutex.protect shard.shard_lock (fun () -> Memo_tbl.find_opt shard.table key) with
   | Some p ->
     Counters.incr c_hits;
     p
@@ -94,7 +127,7 @@ let prepare ?(options = default_options) (l : Ast.loop) =
        expensive work never serializes behind the mutex. *)
     let p = prepare_uncached options l in
     Counters.incr c_misses;
-    Mutex.protect memo_lock (fun () -> Hashtbl.replace memo key p);
+    Mutex.protect shard.shard_lock (fun () -> Memo_tbl.replace shard.table key p);
     p
 
 let schedule_inner ~options prepared machine which =

@@ -1,6 +1,31 @@
-type counter = int Atomic.t
+(* Hot-path updates land in one of [n_shards] per-domain cells instead
+   of a single process-wide atomic: scheduler inner loops, first_fit
+   probes and pool accounting run on every domain at once, and a single
+   shared cell ping-pongs its cache line between cores on every update.
+   A domain picks its shard from its domain id, so with a persistent
+   pool each worker keeps hitting the same (locally cached) cell; the
+   fetch-and-add stays, making a rare id collision between two live
+   domains safe.  Readers sum the shards, so [value]/[snapshot]/
+   [to_json] are observably identical to the unsharded registry. *)
 
-type dist_state = {
+let n_shards = 8 (* power of two; comfortably >= the pool widths used *)
+let shard_index () = (Domain.self () :> int) land (n_shards - 1)
+
+(* Consecutive [Atomic.make] allocations sit next to each other in the
+   minor heap, which would put several shards on one cache line and
+   bring the false sharing right back.  Interleaving a dead ~64-byte
+   block between the cells keeps them apart (and the blocks are garbage
+   after allocation, so the cost is a little allocator work at registry
+   time). *)
+let padded_cells n v =
+  Array.init n (fun _ ->
+      let cell = Atomic.make v in
+      ignore (Sys.opaque_identity (Array.make 8 0));
+      cell)
+
+type counter = int Atomic.t array (* length n_shards *)
+
+type dist_shard = {
   count : int Atomic.t;
   sum : int Atomic.t;
   mn : int Atomic.t;
@@ -10,7 +35,7 @@ type dist_state = {
   buckets : int Atomic.t array;
 }
 
-type dist = dist_state
+type dist = dist_shard array (* length n_shards *)
 
 let n_buckets = 66
 let bucket_index v = if v < 0 then 0 else if v >= 64 then n_buckets - 1 else v + 1
@@ -33,11 +58,11 @@ let counter name =
       | Some (C c) -> c
       | Some (D _) -> invalid_arg (Printf.sprintf "Counters.counter: %s is a distribution" name)
       | None ->
-        let c = Atomic.make 0 in
+        let c = padded_cells n_shards 0 in
         Hashtbl.add registry name (C c);
         c)
 
-let fresh_dist () =
+let fresh_dist_shard () =
   {
     count = Atomic.make 0;
     sum = Atomic.make 0;
@@ -45,6 +70,15 @@ let fresh_dist () =
     mx = Atomic.make min_int;
     buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
   }
+
+(* One dist shard is a handful of adjacent atomics, but they are all
+   written by the same domain, so only the shard boundaries need the
+   padding treatment. *)
+let fresh_dist () =
+  Array.init n_shards (fun _ ->
+      let s = fresh_dist_shard () in
+      ignore (Sys.opaque_identity (Array.make 8 0));
+      s)
 
 let dist name =
   Mutex.protect lock (fun () ->
@@ -56,9 +90,11 @@ let dist name =
         Hashtbl.add registry name (D d);
         d)
 
-let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c n)
+let add (c : counter) n =
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.(shard_index ()) n)
+
 let incr c = add c 1
-let value c = Atomic.get c
+let value (c : counter) = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c
 
 let rec atomic_min a v =
   let cur = Atomic.get a in
@@ -68,13 +104,14 @@ let rec atomic_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
 
-let observe d v =
+let observe (d : dist) v =
   if Atomic.get enabled_flag then begin
-    Atomic.incr d.count;
-    ignore (Atomic.fetch_and_add d.sum v);
-    atomic_min d.mn v;
-    atomic_max d.mx v;
-    Atomic.incr d.buckets.(bucket_index v)
+    let s = d.(shard_index ()) in
+    Atomic.incr s.count;
+    ignore (Atomic.fetch_and_add s.sum v);
+    atomic_min s.mn v;
+    atomic_max s.mx v;
+    Atomic.incr s.buckets.(bucket_index v)
   end
 
 type dist_stats = {
@@ -88,14 +125,16 @@ type dist_stats = {
 let dist_stats (d : dist) =
   let buckets = ref [] in
   for i = n_buckets - 1 downto 0 do
-    let c = Atomic.get d.buckets.(i) in
+    let c = Array.fold_left (fun acc (s : dist_shard) -> acc + Atomic.get s.buckets.(i)) 0 d in
     if c > 0 then buckets := (bucket_repr i, c) :: !buckets
   done;
+  (* Empty shards carry the [max_int]/[min_int] sentinels, which the
+     min/max merge ignores by construction. *)
   {
-    count = Atomic.get d.count;
-    sum = Atomic.get d.sum;
-    min_v = Atomic.get d.mn;
-    max_v = Atomic.get d.mx;
+    count = Array.fold_left (fun acc (s : dist_shard) -> acc + Atomic.get s.count) 0 d;
+    sum = Array.fold_left (fun acc (s : dist_shard) -> acc + Atomic.get s.sum) 0 d;
+    min_v = Array.fold_left (fun acc (s : dist_shard) -> min acc (Atomic.get s.mn)) max_int d;
+    max_v = Array.fold_left (fun acc (s : dist_shard) -> max acc (Atomic.get s.mx)) min_int d;
     buckets = !buckets;
   }
 
@@ -112,16 +151,19 @@ let find name =
   Mutex.protect lock (fun () -> Hashtbl.find_opt registry name) |> Option.map entry_of
 
 let reset_item = function
-  | C c -> Atomic.set c 0
+  | C c -> Array.iter (fun cell -> Atomic.set cell 0) c
   | D d ->
-    Atomic.set d.count 0;
-    Atomic.set d.sum 0;
-    Atomic.set d.mn max_int;
-    Atomic.set d.mx min_int;
-    Array.iter (fun b -> Atomic.set b 0) d.buckets
+    Array.iter
+      (fun (s : dist_shard) ->
+        Atomic.set s.count 0;
+        Atomic.set s.sum 0;
+        Atomic.set s.mn max_int;
+        Atomic.set s.mx min_int;
+        Array.iter (fun b -> Atomic.set b 0) s.buckets)
+      d
 
 let reset () = Mutex.protect lock (fun () -> Hashtbl.iter (fun _ item -> reset_item item) registry)
-let reset_counter c = Atomic.set c 0
+let reset_counter (c : counter) = Array.iter (fun cell -> Atomic.set cell 0) c
 
 let render () =
   let b = Buffer.create 1024 in

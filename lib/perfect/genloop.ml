@@ -146,14 +146,10 @@ let generate (p : Profile.t) =
         if doall then doall_body lrng p else doacross_body lrng p ~loop_idx:(idx + 1)
       in
       let loop =
-        {
-          Ast.kind = (if doall then Ast.Do else Ast.Doacross);
-          index = "I";
-          lo = 1;
-          hi = p.Profile.n_iters;
-          body = relabel body;
-          name = Printf.sprintf "%s.G%d" p.Profile.name (idx + 1);
-        }
+        Ast.make_loop
+          ~kind:(if doall then Ast.Do else Ast.Doacross)
+          ~index:"I" ~lo:1 ~hi:p.Profile.n_iters ~body:(relabel body)
+          ~name:(Printf.sprintf "%s.G%d" p.Profile.name (idx + 1))
       in
       Isched_frontend.Sema.check_exn loop;
       loop)

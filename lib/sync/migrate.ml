@@ -53,5 +53,5 @@ let reorder (l : Ast.loop) =
     assert (Array.length order = n);
     let body_arr = Array.of_list l.body in
     let body = Array.to_list (Array.map (fun i -> body_arr.(i)) order) in
-    { l with body }
+    Ast.with_body l body
   end

@@ -110,7 +110,7 @@ let substitute_iv (l : Ast.loop) (upd_idx, name, step) =
            end)
          l.body)
   in
-  { l with body }
+  Ast.with_body l body
 
 (* --- reduction replacement --- *)
 
@@ -154,7 +154,7 @@ let replace_reduction names (l : Ast.loop) (idx, name, op, e) =
         if i = idx then { s with lhs = Ast.Larr (partial, Ast.Ivar); rhs = e } else s)
       l.body
   in
-  ({ l with body }, Reduction { name; op; partial })
+  (Ast.with_body l body, Reduction { name; op; partial })
 
 (* --- scalar expansion --- *)
 
@@ -210,7 +210,7 @@ let expand_scalar names (l : Ast.loop) name =
         { s with Ast.guard; lhs; rhs = sub s.rhs })
       l.body
   in
-  ({ l with Ast.body }, Expanded { name; partial })
+  (Ast.with_body l body, Expanded { name; partial })
 
 (* --- driver --- *)
 

@@ -2,9 +2,9 @@ module Span = Isched_obs.Span
 module Counters = Isched_obs.Counters
 
 (* Pool observability: how much work went through the pool, how deep
-   the pending-task queue was when each task was grabbed, and how evenly
-   the tasks spread over the workers ([pool.worker_tasks] gets one
-   sample per worker per run — a tight distribution means good
+   the pending work was when each chunk was claimed, and how evenly the
+   work spread over the participants ([pool.worker_tasks] gets one
+   sample per participant per run — a tight distribution means good
    utilisation).  All cover the parallel path only; the [jobs <= 1]
    degenerate path is plain [List.map]. *)
 let c_runs = Counters.counter "pool.runs"
@@ -22,70 +22,224 @@ let set_default_jobs n =
 let default_jobs () = !default
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+(* [--jobs N] is a request, not a command: running more compute domains
+   than the machine has cores buys no parallelism and pays for it in
+   stop-the-world coordination — every minor GC must interrupt all N
+   runnable domains, and on an oversubscribed box that is N context
+   switches per collection.  Measured here (1-core container, tables +
+   ablations corpus): jobs=2 1.55x, jobs=4 2.26x, jobs=8 3.14x slower
+   than sequential with the cap off.  So the pool caps the participants
+   of a run at the detected core count and parks the rest of the
+   request.  Tests override the detection to exercise real multi-domain
+   runs on any box. *)
+let max_active_override = ref None
+
+let set_max_active m =
+  match m with
+  | Some m when m < 1 -> invalid_arg "Pool.set_max_active: limit must be >= 1"
+  | m -> max_active_override := m
+
+let max_active () =
+  match !max_active_override with Some m -> m | None -> Domain.recommended_domain_count ()
+
+(* Indices are handed out in contiguous chunks, not one by one, so a
+   run over thousands of cells costs a few dozen claims on the shared
+   cursor instead of one contended fetch-and-add per cell.  The default
+   grain splits the input into ~8 chunks per participant: coarse enough
+   to amortize the claim, fine enough that an unlucky participant stuck
+   with slow cells cannot serialize the tail of the run. *)
+let grain = ref None
+
+let set_grain g =
+  match g with
+  | Some g when g < 1 -> invalid_arg "Pool.set_grain: grain must be >= 1"
+  | g -> grain := g
+
+let grain_for ~jobs n =
+  match !grain with Some g -> min g n | None -> max 1 (n / (8 * jobs))
+
+(* --- the persistent worker pool ---
+
+   Worker domains are spawned lazily on first parallel use, then parked
+   on a condition variable between runs and reused: spawning a domain
+   costs a stop-the-world handshake with every running domain, which is
+   exactly the overhead that made per-call spawning scale negatively.
+   The pool only ever grows, up to the largest [jobs - 1] requested;
+   [shutdown] (registered [at_exit], callable from tests) joins
+   everything and returns the pool to its initial state. *)
+
+let pool_mutex = Mutex.create ()
+let pool_cond = Condition.create ()
+let pending : (unit -> unit) Queue.t = Queue.create ()
+
+(* All three guarded by [pool_mutex]. *)
+let workers : unit Domain.t list ref = ref []
+let worker_count = ref 0
+let stopping = ref false
+
+(* A participant job parked on a sub-run fed to this same queue would
+   deadlock once every worker does it, so nested calls from pooled jobs
+   run inline instead (see [run_indexed]). *)
+let in_pool_worker = Domain.DLS.new_key (fun () -> false)
+
+let worker_main () =
+  Domain.DLS.set in_pool_worker true;
+  let rec loop () =
+    Mutex.lock pool_mutex;
+    while Queue.is_empty pending && not !stopping do
+      Condition.wait pool_cond pool_mutex
+    done;
+    (* On shutdown the queue is drained first: jobs of an in-flight run
+       still complete (their callers are waiting on the run, not on this
+       domain). *)
+    match Queue.take_opt pending with
+    | None -> Mutex.unlock pool_mutex
+    | Some job ->
+      Mutex.unlock pool_mutex;
+      (* Participant jobs capture their own exceptions into the run's
+         result slots; this catch-all only shields the pool from a bug
+         in the pool itself. *)
+      (try job () with _ -> ());
+      loop ()
+  in
+  loop ()
+
+(* Grow the pool to [target] worker domains.  If the runtime refuses a
+   spawn partway, the workers spawned so far stay parked in the pool —
+   nothing leaks, nothing hangs — and the failure propagates with its
+   backtrace. *)
+let ensure_workers target =
+  if target > 0 then begin
+    Mutex.lock pool_mutex;
+    let failure =
+      try
+        while !worker_count < target do
+          let d = Domain.spawn worker_main in
+          workers := d :: !workers;
+          incr worker_count;
+          Counters.incr c_domains
+        done;
+        None
+      with e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.unlock pool_mutex;
+    match failure with
+    | None -> ()
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  end
+
+let submit job =
+  Mutex.lock pool_mutex;
+  Queue.add job pending;
+  Condition.signal pool_cond;
+  Mutex.unlock pool_mutex
+
+let shutdown () =
+  let ws =
+    Mutex.lock pool_mutex;
+    stopping := true;
+    Condition.broadcast pool_cond;
+    let ws = !workers in
+    workers := [];
+    worker_count := 0;
+    Mutex.unlock pool_mutex;
+    ws
+  in
+  List.iter Domain.join ws;
+  Mutex.lock pool_mutex;
+  stopping := false;
+  Mutex.unlock pool_mutex
+
+let () = at_exit shutdown
+
 (* A failed task keeps the backtrace captured at the raise site in the
    worker, so the re-raise in the caller does not replace it with the
    (useless) caller-side trace. *)
 type 'b outcome = Done of 'b | Failed of exn * Printexc.raw_backtrace
 
-(* Work-stealing over a shared atomic index; results land in an
+(* Chunked claiming over a shared cursor; results land in an
    index-addressed slot array, so the output order never depends on the
    interleaving. *)
 let run_indexed ~jobs f (items : 'a array) : 'b array =
   let n = Array.length items in
-  let results : 'b outcome option array = Array.make n None in
-  let next = Atomic.make 0 in
   let run_task i x =
     if Span.enabled () then
       Span.with_ ~name:"pool.task" ~args:[ ("index", string_of_int i) ] (fun () -> f i x)
     else f i x
   in
-  (* Backtrace recording is per-domain in OCaml 5: without forwarding the
-     caller's status, a task that raises in a spawned domain loses its
-     raise site (empty backtrace) while the same task raising in the
-     caller's inline worker keeps it. *)
-  let record_bt = Printexc.backtrace_status () in
-  let worker () =
-    Printexc.record_backtrace record_bt;
-    let executed = ref 0 in
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        Counters.incr c_tasks;
-        Counters.observe d_queue_depth (n - i);
-        incr executed;
-        results.(i) <-
-          Some
-            (try Done (run_task i items.(i))
-             with e -> Failed (e, Printexc.get_raw_backtrace ()));
-        loop ()
-      end
+  let inline_all () = Array.mapi run_task items in
+  let jobs = min jobs (max_active ()) in
+  if n <= 1 || jobs <= 1 || Domain.DLS.get in_pool_worker then inline_all ()
+  else begin
+    Counters.incr c_runs;
+    let results : 'b outcome option array = Array.make n None in
+    let g = grain_for ~jobs n in
+    let n_chunks = (n + g - 1) / g in
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    (* Backtrace recording is per-domain in OCaml 5: without forwarding
+       the caller's status, a task that raises in a pool domain loses its
+       raise site (empty backtrace) while the same task raising in the
+       caller keeps it. *)
+    let record_bt = Printexc.backtrace_status () in
+    let participant ~forward_bt () =
+      if forward_bt then Printexc.record_backtrace record_bt;
+      let executed = ref 0 in
+      let rec claim () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < n_chunks then begin
+          let lo = c * g in
+          let hi = min n (lo + g) in
+          Counters.add c_tasks (hi - lo);
+          (* Unclaimed work remaining after this claim, one sample per
+             chunk (not per item). *)
+          Counters.observe d_queue_depth (n - hi);
+          for i = lo to hi - 1 do
+            results.(i) <-
+              Some
+                (try Done (run_task i items.(i))
+                 with e -> Failed (e, Printexc.get_raw_backtrace ()))
+          done;
+          executed := !executed + (hi - lo);
+          let finished = Atomic.fetch_and_add completed (hi - lo) + (hi - lo) in
+          if finished = n then begin
+            (* Taking [done_mutex] before the broadcast pairs with the
+               caller's check-then-wait under the same mutex: no lost
+               wakeup. *)
+            Mutex.lock done_mutex;
+            Condition.broadcast done_cond;
+            Mutex.unlock done_mutex
+          end;
+          claim ()
+        end
+      in
+      claim ();
+      Counters.observe d_worker_tasks !executed
     in
-    loop ();
-    Counters.observe d_worker_tasks !executed
-  in
-  let n_domains = min (jobs - 1) (n - 1) in
-  Counters.incr c_runs;
-  let spawned = ref [] in
-  (* If the runtime refuses a later spawn, the earlier domains are
-     already chewing on the task queue — join them before re-raising so
-     no domain outlives the call. *)
-  (try
-     for _ = 1 to n_domains do
-       spawned := Domain.spawn worker :: !spawned;
-       Counters.incr c_domains
-     done
-   with e ->
-     let bt = Printexc.get_raw_backtrace () in
-     List.iter Domain.join !spawned;
-     Printexc.raise_with_backtrace e bt);
-  worker ();
-  List.iter Domain.join !spawned;
-  Array.map
-    (function
-      | Some (Done v) -> v
-      | Some (Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
-      | None -> assert false)
-    results
+    let helpers = min (jobs - 1) (n_chunks - 1) in
+    ensure_workers helpers;
+    for _ = 1 to helpers do
+      submit (participant ~forward_bt:true)
+    done;
+    (* The caller is a participant too, so the run completes even if
+       every pool domain is busy with other runs (or the pool is empty):
+       queued helper jobs that arrive after the cursor is exhausted just
+       claim nothing. *)
+    participant ~forward_bt:false ();
+    Mutex.lock done_mutex;
+    while Atomic.get completed < n do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    Array.map
+      (function
+        | Some (Done v) -> v
+        | Some (Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
 
 let mapi ?jobs f xs =
   let jobs = match jobs with Some j -> j | None -> !default in

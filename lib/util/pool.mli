@@ -1,16 +1,25 @@
-(** Fixed-size domain pool for fanning independent jobs across cores.
+(** Persistent domain pool for fanning independent jobs across cores.
 
     The bench harness evaluates hundreds of independent
     (benchmark x machine-config) cells; this pool runs them on OCaml 5
     domains while keeping the result order deterministic: [map f xs] is
     observably [List.map f xs], whatever the interleaving.
 
+    Worker domains are spawned lazily on first use and then reused for
+    every subsequent run — spawning a domain forces a stop-the-world
+    handshake, and doing that per call is what made [--jobs N] slower
+    than sequential.  Indices are distributed in contiguous chunks (see
+    {!set_grain}) to keep shared-cursor traffic off the per-item path.
+    Nested calls from inside a pooled job run inline in the calling
+    worker, so they cannot deadlock the pool.
+
     Jobs must be pure or synchronize their own shared state (the
     pipeline memo table does its own locking).  Exceptions raised by a
     job are caught in the worker and re-raised in the caller with the
-    backtrace captured at the original raise site.  If spawning the
-    worker domains fails partway, the already-spawned domains are
-    joined before the spawn failure propagates. *)
+    backtrace captured at the original raise site.  If spawning a
+    worker domain fails partway through growing the pool, the domains
+    spawned so far remain parked in the pool (nothing leaks, nothing
+    hangs) and the spawn failure propagates. *)
 
 (** [set_default_jobs n] sets the pool width used when [?jobs] is
     omitted; [n <= 1] means run everything sequentially in the calling
@@ -25,11 +34,32 @@ val default_jobs : unit -> int
     ({!Domain.recommended_domain_count}). *)
 val recommended_jobs : unit -> int
 
+(** The pool never runs more participants than the machine has cores:
+    domains beyond that buy no parallelism and pay a stop-the-world
+    coordination tax per minor GC (measured 3x slower at [--jobs 8] on
+    one core).  [set_max_active (Some m)] overrides the detected core
+    count — tests use it to exercise real multi-domain runs on any box;
+    [set_max_active None] (the initial state) restores the hardware
+    detection.  Raises [Invalid_argument] on [m < 1]. *)
+val set_max_active : int option -> unit
+
+(** [set_grain (Some g)] fixes the chunk size used to distribute
+    indices to participants; [set_grain None] (the initial state)
+    restores the automatic grain of [max 1 (n / (8 * jobs))] — about 8
+    chunks per participant.  Raises [Invalid_argument] on [g < 1]. *)
+val set_grain : int option -> unit
+
 (** [map ?jobs f xs] applies [f] to every element of [xs] on a pool of
     [jobs] domains (default {!default_jobs}) and returns the results in
     input order.  With [jobs <= 1] or fewer than two elements it
-    degrades to plain [List.map] with no domain spawned. *)
+    degrades to plain [List.map] with no domain involved. *)
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [mapi ?jobs f xs] — like {!map} with the element index. *)
 val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+(** [shutdown ()] joins every pooled worker domain and returns the pool
+    to its initial (empty) state; the next parallel call respawns
+    lazily.  Registered [at_exit] so no domain outlives the process'
+    teardown.  Call only while no run is in flight. *)
+val shutdown : unit -> unit

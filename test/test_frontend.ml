@@ -195,7 +195,7 @@ let test_sema_array_scalar_clash () =
   Alcotest.(check bool) "clash reported" true (Sema.check l <> [])
 
 let test_sema_empty_body () =
-  let l = { Ast.kind = Ast.Do; index = "I"; lo = 1; hi = 2; body = []; name = "e" } in
+  let l = Ast.make_loop ~kind:Ast.Do ~index:"I" ~lo:1 ~hi:2 ~body:[] ~name:"e" in
   Alcotest.(check bool) "empty body reported" true (Sema.check l <> [])
 
 let test_sema_empty_range () =

@@ -160,6 +160,30 @@ let test_prepare_memo () =
   Alcotest.(check bool) "options partition the cache" true (c != a);
   check Alcotest.int "second miss" 2 (snd (Pipeline.memo_stats ()))
 
+let test_prepare_memo_concurrent () =
+  (* Eight domains racing [prepare] on the identical key: the striped
+     memo computes outside the lock, so racers may duplicate the miss
+     work, but every caller must get a structurally equal result and
+     the hit/miss ledger must account for every call. *)
+  Pipeline.memo_clear ();
+  let l = Isched_frontend.Parser.parse_loop "DOACROSS I = 1, 10\n A[I] = A[I-1]\nENDDO" in
+  let mach = Machine.make ~issue:4 ~nfu:1 () in
+  let domains = Array.init 8 (fun _ -> Domain.spawn (fun () -> Pipeline.prepare l)) in
+  let results = Array.map Domain.join domains in
+  let time p = Pipeline.loop_time p mach Pipeline.New_scheduling in
+  let reference = time results.(0) in
+  Array.iter (fun p -> check Alcotest.int "same schedule time" reference (time p)) results;
+  let hits, misses = Pipeline.memo_stats () in
+  check Alcotest.int "every call accounted" 8 (hits + misses);
+  Alcotest.(check bool) "at least one miss" true (misses >= 1);
+  (* A fresh parse of the same source is a physically distinct but
+     digest-equal key: it must hit the entry the racers installed. *)
+  let l2 = Isched_frontend.Parser.parse_loop "DOACROSS I = 1, 10\n A[I] = A[I-1]\nENDDO" in
+  let hits_before = fst (Pipeline.memo_stats ()) in
+  check Alcotest.int "structurally equal key, equal result" reference (time (Pipeline.prepare l2));
+  Alcotest.(check bool) "structurally equal key hits" true
+    (fst (Pipeline.memo_stats ()) > hits_before)
+
 let test_options_respected () =
   let l = Isched_frontend.Parser.parse_loop "DOACROSS I = 1, 50\n A[5] = A[5] + E[I]\nENDDO" in
   let with_opts options =
@@ -190,4 +214,5 @@ let suite =
     ("pipeline options: redundant-sync elimination", `Quick, test_options_respected);
     ("measure: domain pool equals sequential", `Quick, test_measure_pool_matches_sequential);
     ("pipeline: prepare memoization", `Quick, test_prepare_memo);
+    ("pipeline: memo safe under 8-way identical keys", `Quick, test_prepare_memo_concurrent);
   ]

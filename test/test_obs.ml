@@ -355,6 +355,34 @@ let test_domain_safety () =
   try Json.parse (Span.export_json ())
   with Failure m -> Alcotest.failf "concurrent export not valid JSON: %s" m
 
+let test_sharded_merge_across_domains () =
+  fresh ();
+  (* The counters keep per-domain shards and merge them at read time;
+     after eight writer domains join, the merged view must equal the
+     shard sum exactly — lost updates or a shard skipped by the merge
+     would show up as a shortfall here. *)
+  let c = Counters.counter "test.shards" in
+  let d = Counters.dist "test.shards.d" in
+  let per_domain = 10_000 in
+  let work () =
+    for i = 1 to per_domain do
+      Counters.incr c;
+      Counters.observe d (i mod 10)
+    done
+  in
+  let domains = Array.init 8 (fun _ -> Domain.spawn work) in
+  Array.iter Domain.join domains;
+  check Alcotest.int "value equals the shard sum" (8 * per_domain) (Counters.value c);
+  let s = Counters.dist_stats d in
+  check Alcotest.int "count merged over all shards" (8 * per_domain) s.Counters.count;
+  (* Each domain observes [i mod 10] for i in 1..10_000: 1000 full
+     cycles of 0..9, so per-domain sum is 45_000. *)
+  check Alcotest.int "sum merged" (8 * 45_000) s.Counters.sum;
+  check Alcotest.int "min merged" 0 s.Counters.min_v;
+  check Alcotest.int "max merged" 9 s.Counters.max_v;
+  check Alcotest.int "bucket counts merged" (8 * per_domain)
+    (List.fold_left (fun a (_, n) -> a + n) 0 s.Counters.buckets)
+
 let suite =
   [
     Alcotest.test_case "span: disabled records nothing" `Quick test_span_disabled_records_nothing;
@@ -376,4 +404,6 @@ let suite =
     Alcotest.test_case "counters: to_json carries the buckets" `Quick
       test_counters_json_has_buckets;
     Alcotest.test_case "obs: counters and spans are domain-safe" `Quick test_domain_safety;
+    Alcotest.test_case "counters: sharded value merges across 8 domains" `Quick
+      test_sharded_merge_across_domains;
   ]

@@ -250,6 +250,50 @@ let test_gate_no_baseline_ok () =
   check Alcotest.int "no matching baseline" 0 c.Bench_gate.baseline_runs;
   check Alcotest.bool "first run passes" true (Bench_gate.ok c)
 
+let history_doc_stage runs =
+  (* Like [history_doc] but wall and the tables stage vary independently,
+     so the per-stage gate can be exercised with the wall clock held flat. *)
+  let run (wall, stage) =
+    Printf.sprintf
+      "{ \"git_rev\": \"r\", \"unix_time\": 1, \"jobs\": 2, \"smoke\": true, \
+       \"wall_clock_seconds\": %.3f, \"stage_seconds\": { \"tables\": %.3f }, \
+       \"table_totals\": { \"cfg\": { \"t_list\": 100, \"t_new\": 50 } } }"
+      wall stage
+  in
+  Printf.sprintf "{ \"runs\": [ %s ] }" (String.concat ", " (List.map run runs))
+
+let test_gate_flags_stage_only_regression () =
+  (* The tables stage quadruples but the wall clock (dominated by other
+     stages) does not move: the per-stage gate must still flag it. *)
+  let c = compare_doc (history_doc_stage [ (5.0, 0.5); (5.0, 0.5); (5.0, 2.0) ]) in
+  check Alcotest.bool "flagged" false (Bench_gate.ok c);
+  check Alcotest.bool "names the stage metric" true
+    (List.exists
+       (fun (r : Bench_gate.regression) -> r.Bench_gate.metric = "stage_seconds.tables")
+       c.Bench_gate.regressions);
+  check Alcotest.bool "wall clock itself not flagged" false
+    (List.exists
+       (fun (r : Bench_gate.regression) -> r.Bench_gate.metric = "wall_clock_seconds")
+       c.Bench_gate.regressions)
+
+let test_gate_stage_floor_absorbs_timer_noise () =
+  (* A 10 ms stage tripling is a huge ratio but under the 50 ms absolute
+     floor — timer noise, not a regression. *)
+  let c = compare_doc (history_doc_stage [ (5.0, 0.010); (5.0, 0.010); (5.0, 0.030) ]) in
+  check Alcotest.bool "passes" true (Bench_gate.ok c)
+
+let test_gate_stages_partition_baselines () =
+  (* A stage-filtered run must not be judged against full-run baselines:
+     running fewer stages is always "faster" and would poison the mean. *)
+  let doc =
+    "{ \"runs\": [ { \"jobs\": 2, \"smoke\": true, \"stages\": \"all\", \
+     \"wall_clock_seconds\": 1.0 }, { \"jobs\": 2, \"smoke\": true, \"stages\": \
+     \"tables,ablations\", \"wall_clock_seconds\": 5.0 } ] }"
+  in
+  let c = compare_doc doc in
+  check Alcotest.int "stage-filtered run has no full-run baseline" 0 c.Bench_gate.baseline_runs;
+  check Alcotest.bool "passes" true (Bench_gate.ok c)
+
 let test_rotate_history () =
   let doc = history_doc (List.init 10 (fun i -> (1.0, i))) in
   (match Bench_gate.rotate_history ~keep:3 doc with
@@ -283,5 +327,11 @@ let suite =
     Alcotest.test_case "gate accepts <5% noise" `Quick test_gate_accepts_noise;
     Alcotest.test_case "gate flags table_totals regression" `Quick test_gate_flags_table_regression;
     Alcotest.test_case "gate passes without baseline" `Quick test_gate_no_baseline_ok;
+    Alcotest.test_case "gate flags stage-only regression" `Quick
+      test_gate_flags_stage_only_regression;
+    Alcotest.test_case "gate stage floor absorbs timer noise" `Quick
+      test_gate_stage_floor_absorbs_timer_noise;
+    Alcotest.test_case "gate partitions baselines by stages label" `Quick
+      test_gate_stages_partition_baselines;
     Alcotest.test_case "history rotation keeps newest" `Quick test_rotate_history;
   ]

@@ -251,7 +251,20 @@ let test_vec_get_or () =
 
 (* --- Pool --- *)
 
+(* The box running the tests may expose a single core, where the pool's
+   oversubscription cap turns every parallel call into the inline path;
+   forcing the cap up exercises real worker domains everywhere. *)
+let with_forced_pool f =
+  Pool.set_max_active (Some 8);
+  Fun.protect ~finally:(fun () -> Pool.set_max_active None) f
+
+let counter_value name =
+  match Isched_obs.Counters.find name with
+  | Some (Isched_obs.Counters.Counter v) -> v
+  | _ -> Alcotest.failf "counter %s not registered" name
+
 let test_pool_map_order () =
+  with_forced_pool @@ fun () ->
   let xs = List.init 100 (fun i -> i) in
   let f x = (x * 37) mod 101 in
   let expected = List.map f xs in
@@ -261,12 +274,14 @@ let test_pool_map_order () =
     [ 1; 2; 4 ]
 
 let test_pool_mapi () =
+  with_forced_pool @@ fun () ->
   check
     Alcotest.(list string)
     "indices in input order" [ "0a"; "1b"; "2c" ]
     (Pool.mapi ~jobs:3 (fun i s -> string_of_int i ^ s) [ "a"; "b"; "c" ])
 
 let test_pool_exception () =
+  with_forced_pool @@ fun () ->
   Alcotest.check_raises "worker exception reaches the caller" Exit (fun () ->
       ignore (Pool.map ~jobs:2 (fun x -> if x = 3 then raise Exit else x) [ 1; 2; 3; 4 ]))
 
@@ -278,6 +293,7 @@ let rec deep_raise n =
   if n = 0 then raise Pool_boom else 1 + Sys.opaque_identity (deep_raise (n - 1))
 
 let test_pool_exception_backtrace () =
+  with_forced_pool @@ fun () ->
   (* Regression: the pool re-raised worker exceptions with a bare
      [raise], so the backtrace pointed at the pool's result loop instead
      of the worker's raise site.  Only assert on builds where local
@@ -306,12 +322,59 @@ let test_pool_defaults () =
   Alcotest.(check bool) "recommended positive" true (Pool.recommended_jobs () >= 1);
   Alcotest.check_raises "zero rejected"
     (Invalid_argument "Pool.set_default_jobs: jobs must be >= 1") (fun () ->
-      Pool.set_default_jobs 0)
+      Pool.set_default_jobs 0);
+  Alcotest.check_raises "zero max_active rejected"
+    (Invalid_argument "Pool.set_max_active: limit must be >= 1") (fun () ->
+      Pool.set_max_active (Some 0));
+  Alcotest.check_raises "zero grain rejected"
+    (Invalid_argument "Pool.set_grain: grain must be >= 1") (fun () -> Pool.set_grain (Some 0))
+
+let dist_count name =
+  match Isched_obs.Counters.find name with
+  | Some (Isched_obs.Counters.Dist s) -> s.Isched_obs.Counters.count
+  | _ -> Alcotest.failf "distribution %s not registered" name
+
+let test_pool_reuses_domains () =
+  with_forced_pool @@ fun () ->
+  let xs = List.init 8 (fun i -> i) in
+  (* Warm the pool up to this width once... *)
+  ignore (Pool.map ~jobs:4 succ xs);
+  let spawned = counter_value "pool.domains_spawned" in
+  (* ...then every later run at the same (or smaller) width must reuse
+     the parked workers instead of spawning fresh domains per call. *)
+  ignore (Pool.map ~jobs:4 succ xs);
+  ignore (Pool.mapi ~jobs:2 (fun i x -> i + x) xs);
+  check Alcotest.int "no new domains after warm-up" spawned
+    (counter_value "pool.domains_spawned")
+
+let test_pool_nested_no_deadlock () =
+  with_forced_pool @@ fun () ->
+  (* A nested call from inside a pooled job must not park itself on the
+     queue its own workers are consuming; it runs inline instead. *)
+  let inner x = Pool.map ~jobs:4 (fun y -> (x * 10) + y) [ 1; 2; 3 ] in
+  let outer = [ 1; 2; 3; 4; 5; 6 ] in
+  check
+    Alcotest.(list (list int))
+    "nested map completes with the right results" (List.map inner outer)
+    (Pool.map ~jobs:4 inner outer)
+
+let test_pool_grain_chunking () =
+  with_forced_pool @@ fun () ->
+  Pool.set_grain (Some 5);
+  Fun.protect ~finally:(fun () -> Pool.set_grain None) @@ fun () ->
+  let tasks0 = counter_value "pool.tasks" in
+  let chunks0 = dist_count "pool.queue_depth" in
+  let xs = List.init 23 (fun i -> i) in
+  check Alcotest.(list int) "results" (List.map succ xs) (Pool.map ~jobs:2 succ xs);
+  check Alcotest.int "every item counted once" 23 (counter_value "pool.tasks" - tasks0);
+  check Alcotest.int "one depth sample per chunk (ceil 23/5)" 5
+    (dist_count "pool.queue_depth" - chunks0)
 
 let pool_matches_list_map =
   qtest "pool: map over domains equals List.map"
     QCheck2.Gen.(pair (int_range 1 4) (list_size (int_bound 40) (int_range (-1000) 1000)))
     (fun (jobs, xs) ->
+      with_forced_pool @@ fun () ->
       let f x = (x * x) - (3 * x) in
       Pool.map ~jobs f xs = List.map f xs)
 
@@ -382,6 +445,9 @@ let suite =
     ("pool: exceptions propagate", `Quick, test_pool_exception);
     ("pool: worker backtraces preserved", `Quick, test_pool_exception_backtrace);
     ("pool: default jobs knob", `Quick, test_pool_defaults);
+    ("pool: domains reused across runs", `Quick, test_pool_reuses_domains);
+    ("pool: nested map runs inline, no deadlock", `Quick, test_pool_nested_no_deadlock);
+    ("pool: grain controls chunk accounting", `Quick, test_pool_grain_chunking);
     pool_matches_list_map;
     ("table: render contains content", `Quick, test_table_render);
     ("table: arity check", `Quick, test_table_arity);
