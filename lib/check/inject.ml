@@ -61,15 +61,14 @@ let inject fault (s : Schedule.t) =
        graph missing that arc could produce. *)
     let g = Dfg.build p in
     let found = ref None in
-    Array.iter
-      (fun arcs ->
-        List.iter
-          (fun (a : Dfg.arc) ->
-            match a.Dfg.kind with
-            | (Dfg.Data | Dfg.Mem) when !found = None -> found := Some a
-            | _ -> ())
-          arcs)
-      g.Dfg.succs;
+    for i = 0 to g.Dfg.n - 1 do
+      List.iter
+        (fun (a : Dfg.arc) ->
+          match a.Dfg.kind with
+          | (Dfg.Data | Dfg.Mem) when !found = None -> found := Some a
+          | _ -> ())
+        (Dfg.succs_list g i)
+    done;
     match !found with
     | None -> None
     | Some a ->

@@ -125,17 +125,14 @@ let check_sync (s : Schedule.t) add =
 
 let check_arcs (s : Schedule.t) (g : Dfg.t) add =
   let cy i = s.Schedule.cycle_of.(i) in
-  Array.iter
-    (fun arcs ->
-      List.iter
-        (fun (a : Dfg.arc) ->
-          let gap = cy a.Dfg.dst - cy a.Dfg.src in
-          if gap < a.Dfg.latency then
-            add
-              (Violation.Broken_arc
-                 { kind = a.Dfg.kind; src = a.Dfg.src; dst = a.Dfg.dst; latency = a.Dfg.latency; gap }))
-        arcs)
-    g.Dfg.succs
+  for i = 0 to g.Dfg.n - 1 do
+    Dfg.iter_succs g i (fun a ->
+        let dst = Dfg.arc_node a in
+        let lat = Dfg.arc_latency a in
+        let gap = cy dst - cy i in
+        if gap < lat then
+          add (Violation.Broken_arc { kind = Dfg.arc_kind a; src = i; dst; latency = lat; gap }))
+  done
 
 (* Occupancy by direct counting over [cycle_of] — no reservation table,
    no [Resource] code shared. *)

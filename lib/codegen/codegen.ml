@@ -12,6 +12,14 @@ module Program = Isched_ir.Program
    floating-point units, as real arrays are REAL in the benchmarks. *)
 type cls = Cint | Cval
 
+(* CSE keys are structural values, not formatted strings: key
+   construction sits on the per-instruction emission path, and
+   [Printf.sprintf] there dominated compile time at corpus scale. *)
+type cse_key =
+  | Kbin of Instr.binop * Operand.t * Operand.t
+  | Kload of string * Operand.t  (* base array, byte address *)
+  | Kload_scalar of string
+
 type state = {
   loop : Ast.loop;
   plan : Plan.t;
@@ -20,9 +28,9 @@ type state = {
   stmts : int Isched_util.Vec.t;  (* parallel to code: statement id *)
   mutable next_reg : int;
   reg_cls : cls Isched_util.Vec.t;  (* per virtual register *)
-  cse : (string, Operand.t) Hashtbl.t;
+  cse : (cse_key, Operand.t) Hashtbl.t;
   (* CSE key -> instruction index that produced the cached value *)
-  access_instr_of_key : (string, int) Hashtbl.t;
+  access_instr_of_key : (cse_key, int) Hashtbl.t;
   (* access (stmt, idx) -> instruction index of the memory op *)
   access_instr : (int * int, int) Hashtbl.t;
   (* arrays that are stored to somewhere in the body / scalars written *)
@@ -57,17 +65,13 @@ let emit ?mem st instr =
      [take_access]. *)
   idx
 
-let operand_key = function
-  | Operand.Reg r -> Printf.sprintf "t%d" r
-  | Operand.Imm i -> Printf.sprintf "#%d" i
-  | Operand.Fimm f -> Printf.sprintf "#f%h" f
-  | Operand.Ivar -> "I"
-
 let bin_key op a b =
-  let a = operand_key a and b = operand_key b in
+  (* Commutative operands are canonicalized under a fixed total order so
+     both argument orders share one key; any total order yields the same
+     equivalence classes, so swapping the string order for the structural
+     one changes no CSE decision. *)
   let commutative = match op with Instr.Add | Instr.Mul -> true | _ -> false in
-  let a, b = if commutative && b < a then (b, a) else (a, b) in
-  Printf.sprintf "%s(%s,%s)" (Instr.binop_name op) a b
+  if commutative && Stdlib.compare b a < 0 then Kbin (op, b, a) else Kbin (op, a, b)
 
 (* Emit (or reuse) a pure integer-class binary operation. *)
 let emit_int_bin st op a b =
@@ -128,7 +132,7 @@ and compile_load st base sub =
   let mem = { Program.base; affine } in
   (* Loads from arrays the body never stores to are safe to reuse. *)
   let cacheable = not (Hashtbl.mem st.stored_arrays base) in
-  let key = Printf.sprintf "ld:%s[%s]" base (operand_key addr) in
+  let key = Kload (base, addr) in
   match if cacheable then Hashtbl.find_opt st.cse key else None with
   | Some (Operand.Reg r) ->
     (match Hashtbl.find_opt st.access_instr_of_key key with
@@ -147,7 +151,7 @@ and compile_load st base sub =
 
 and compile_scalar_load st name =
   let cacheable = not (Hashtbl.mem st.written_scalars name) in
-  let key = Printf.sprintf "lds:%s" name in
+  let key = Kload_scalar name in
   match if cacheable then Hashtbl.find_opt st.cse key else None with
   | Some (Operand.Reg r) ->
     (match Hashtbl.find_opt st.access_instr_of_key key with
@@ -393,9 +397,18 @@ let run ?n_iters (l : Ast.loop) (plan : Plan.t) =
   Program.validate program;
   program
 
-let compile ?(eliminate = false) ?(migrate = false) ?n_iters l =
-  let l = if migrate then Isched_sync.Migrate.reorder l else l in
-  let plan = Plan.build l in
+let compile ?(eliminate = false) ?(migrate = false) ?carried ?n_iters l =
+  (* [carried], when given, must be [Dep.carried_deps l]: callers that
+     already decided DOALL vs DOACROSS pass their analysis along instead
+     of re-running it.  Migration reorders the statements, which
+     renumbers the accesses the deps refer to, so a provided list is
+     only usable on the unmigrated loop. *)
+  let l, carried =
+    if migrate then (Isched_sync.Migrate.reorder l, None) else (l, carried)
+  in
+  let plan =
+    match carried with Some deps -> Plan.of_deps l deps | None -> Plan.build l
+  in
   if not eliminate then run ?n_iters l plan
   else begin
     (* Two passes: compile fully synchronized, find the waits whose
@@ -418,5 +431,6 @@ let compile ?(eliminate = false) ?(migrate = false) ?n_iters l =
 (* Observability shadows: the exported entry points are the traced ones. *)
 let run ?n_iters l plan = Isched_obs.Span.with_ ~name:"codegen.run" (fun () -> run ?n_iters l plan)
 
-let compile ?eliminate ?migrate ?n_iters l =
-  Isched_obs.Span.with_ ~name:"codegen.compile" (fun () -> compile ?eliminate ?migrate ?n_iters l)
+let compile ?eliminate ?migrate ?carried ?n_iters l =
+  Isched_obs.Span.with_ ~name:"codegen.compile" (fun () ->
+      compile ?eliminate ?migrate ?carried ?n_iters l)

@@ -35,14 +35,39 @@ let pairs (s : Schedule.t) =
 let n_lbd s = List.length (List.filter (fun r -> r.is_lbd) (pairs s))
 
 let observe_sync_spans d s =
-  if Isched_obs.Counters.enabled () then
-    List.iter (fun r -> Isched_obs.Counters.observe d (r.send_pos - r.wait_pos)) (pairs s)
+  if Isched_obs.Counters.enabled () then begin
+    let p = s.Schedule.prog in
+    Array.iter
+      (fun (w : Program.wait_info) ->
+        let send = p.Program.signals.(w.signal).send_instr in
+        Isched_obs.Counters.observe d
+          (Schedule.position s send - Schedule.position s w.wait_instr))
+      p.Program.waits
+  end
 
 let fold_time f s =
   List.fold_left (fun acc r -> max acc (f r)) s.Schedule.length (pairs s)
 
 let paper_time s = fold_time (fun r -> r.paper_time) s
-let exact_time s = fold_time (fun r -> r.exact_time) s
+
+(* [exact_time] runs on every new-scheduler invocation (the
+   never-degrade comparison), so it folds over the wait table directly
+   instead of materializing {!pairs}. *)
+let exact_time (s : Schedule.t) =
+  let p = s.Schedule.prog in
+  let n = p.Program.n_iters in
+  let l = s.Schedule.length in
+  let acc = ref l in
+  Array.iter
+    (fun (w : Program.wait_info) ->
+      let send = p.Program.signals.(w.signal).send_instr in
+      let i = Schedule.position s send and j = Schedule.position s w.wait_instr in
+      let d = max 1 w.distance in
+      let links = (n - 1) / d in
+      let t = (links * max 0 (i - j + 1)) + l in
+      if t > !acc then acc := t)
+    p.Program.waits;
+  !acc
 
 let pp_report ppf r =
   Format.fprintf ppf "wait %d on sig%d d=%d: j=%d i=%d %s paper=%d exact=%d" r.wait_id r.signal

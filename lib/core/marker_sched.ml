@@ -16,9 +16,9 @@ let run_inner (g : Dfg.t) machine =
      before the cycle at which your sink could otherwise start". *)
   let asap = Array.make n 0 in
   for i = 0 to n - 1 do
-    List.iter
-      (fun (a : Dfg.arc) -> asap.(i) <- max asap.(i) (asap.(a.Dfg.src) + a.Dfg.latency))
-      g.Dfg.preds.(i)
+    Dfg.iter_preds g i (fun a ->
+        let t = asap.(Dfg.arc_node a) + Dfg.arc_latency a in
+        if t > asap.(i) then asap.(i) <- t)
   done;
   let priority = Array.copy base in
   let release = Array.make n 0 in

@@ -22,14 +22,15 @@ let modulo_arcs (g : Dfg.t) =
   let p = g.Dfg.prog in
   let is_sync i = Instr.is_sync p.Program.body.(i) in
   let intra =
-    Array.to_list g.Dfg.succs
-    |> List.concat_map
-         (List.filter_map (fun (a : Dfg.arc) ->
-              match a.Dfg.kind with
-              | Dfg.Data | Dfg.Mem ->
-                if is_sync a.Dfg.src || is_sync a.Dfg.dst then None
-                else Some { src = a.Dfg.src; dst = a.Dfg.dst; lat = a.Dfg.latency; omega = 0 }
-              | Dfg.Sync_src | Dfg.Sync_snk -> None))
+    List.init g.Dfg.n (fun i -> i)
+    |> List.concat_map (fun i ->
+           Dfg.succs_list g i
+           |> List.filter_map (fun (a : Dfg.arc) ->
+                  match a.Dfg.kind with
+                  | Dfg.Data | Dfg.Mem ->
+                    if is_sync a.Dfg.src || is_sync a.Dfg.dst then None
+                    else Some { src = a.Dfg.src; dst = a.Dfg.dst; lat = a.Dfg.latency; omega = 0 }
+                  | Dfg.Sync_src | Dfg.Sync_snk -> None))
   in
   let carried =
     Array.to_list p.Program.waits

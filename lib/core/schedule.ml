@@ -21,12 +21,18 @@ let of_cycles prog machine cycle_of =
         invalid_arg (Printf.sprintf "Schedule.of_cycles: instruction %d unscheduled" (i + 1)))
     cycle_of;
   let length = if n = 0 then 0 else 1 + Array.fold_left max 0 cycle_of in
-  let rows = Array.make length [] in
-  (* Collect descending, then reverse for ascending order per row. *)
-  for i = n - 1 downto 0 do
-    rows.(cycle_of.(i)) <- i :: rows.(cycle_of.(i))
+  (* Counting sort into exactly-sized rows, ascending within each row;
+     no intermediate lists. *)
+  let counts = Array.make (length + 1) 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) cycle_of;
+  let rows = Array.init length (fun c -> Array.make counts.(c) 0) in
+  let cur = Array.make (length + 1) 0 in
+  for i = 0 to n - 1 do
+    let c = cycle_of.(i) in
+    rows.(c).(cur.(c)) <- i;
+    cur.(c) <- cur.(c) + 1
   done;
-  { prog; machine; cycle_of; rows = Array.map Array.of_list rows; length }
+  { prog; machine; cycle_of; rows; length }
 
 let position t i = t.cycle_of.(i) + 1
 
@@ -35,15 +41,13 @@ let validate t (g : Dfg.t) =
   let problem = ref None in
   let fail fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
   (* Arcs. *)
-  Array.iter
-    (fun arcs ->
-      List.iter
-        (fun (a : Dfg.arc) ->
-          let gap = t.cycle_of.(a.dst) - t.cycle_of.(a.src) in
-          if gap < a.latency then
-            fail "arc %d -> %d needs %d cycles, got %d" (a.src + 1) (a.dst + 1) a.latency gap)
-        arcs)
-    g.Dfg.succs;
+  for i = 0 to g.Dfg.n - 1 do
+    Dfg.iter_succs g i (fun a ->
+        let dst = Dfg.arc_node a in
+        let lat = Dfg.arc_latency a in
+        let gap = t.cycle_of.(dst) - t.cycle_of.(i) in
+        if gap < lat then fail "arc %d -> %d needs %d cycles, got %d" (i + 1) (dst + 1) lat gap)
+  done;
   (* Issue width. *)
   Array.iteri
     (fun c row ->

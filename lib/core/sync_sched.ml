@@ -18,19 +18,15 @@ type state = {
   g : Dfg.t;
   res : Resource.t;
   cycle_of : int array;
-  (* wait node -> send node, for pairs that must become LFD (no
-     wait->send path exists); waits heading a sync path are absent. *)
-  lfd_wait_send : (int, int) Hashtbl.t;
+  (* node -> send node for waits that must become LFD (no wait->send
+     path exists), -1 elsewhere; waits heading a sync path carry -1. *)
+  lfd_wait_send : int array;
   prov : bool;  (* provenance recording enabled, read once per run *)
   prio : int array;  (* longest path to exit, the phase-3 priority *)
+  fuc : int array;  (* per-node Resource.fu_code, memoized on the graph *)
 }
 
 let placed st i = st.cycle_of.(i) >= 0
-
-let ready_cycle st i =
-  List.fold_left
-    (fun acc (a : Dfg.arc) -> max acc (st.cycle_of.(a.src) + a.latency))
-    0 st.g.Dfg.preds.(i)
 
 (* The refused probes of a [first_fit] scan, re-derived after the fact:
    reserving at [stop] frees nothing, so [reject_reason] still answers
@@ -50,15 +46,20 @@ let rejections_between st ~start ~stop ins =
 
 (* The dependence arc that set [ready_cycle], for binding attribution. *)
 let binding_arc st i =
-  List.fold_left
-    (fun acc (a : Dfg.arc) ->
-      let t = st.cycle_of.(a.src) + a.latency in
-      match acc with
-      | Some (best, _) when best >= t -> acc
-      | _ ->
-        Some (t, { Provenance.pred = a.src; latency = a.latency; arc = Dfg.arc_kind_name a.kind }))
-    None st.g.Dfg.preds.(i)
-  |> Option.map snd
+  (* Keeps the first arc seen at the maximum readiness time (strictly
+     later arcs replace), exactly the old fold's accumulator rule. *)
+  let best = ref min_int in
+  let res = ref None in
+  Dfg.iter_preds st.g i (fun a ->
+      let src = Dfg.arc_node a in
+      let lat = Dfg.arc_latency a in
+      let t = st.cycle_of.(src) + lat in
+      if !res = None || t > !best then begin
+        best := t;
+        res :=
+          Some { Provenance.pred = src; latency = lat; arc = Dfg.arc_kind_name (Dfg.arc_kind a) }
+      end);
+  !res
 
 (* Place node [i] (and, recursively, its unscheduled ancestors) at the
    earliest feasible cycle >= [from].  Waits registered in
@@ -68,28 +69,39 @@ let binding_arc st i =
    binding when that floor dominates the dependence-readiness cycle. *)
 let rec place st ?(from = 0) ?ctx i =
   if not (placed st i) then begin
-    List.iter (fun (a : Dfg.arc) -> place st a.src) st.g.Dfg.preds.(i);
+    (* One predecessor walk both places the ancestors and accumulates
+       the readiness cycle: each predecessor's cycle is final once its
+       recursive [place] returns, and later placements never move it. *)
+    let ready = ref 0 in
+    Dfg.iter_preds st.g i (fun a ->
+        let src = Dfg.arc_node a in
+        place st src;
+        let t = st.cycle_of.(src) + Dfg.arc_latency a in
+        if t > !ready then ready := t);
+    let ready = !ready in
     let from_outer = from in
-    let lfd_send = Hashtbl.find_opt st.lfd_wait_send i in
+    let lfd_send = st.lfd_wait_send.(i) in
     let from =
-      match lfd_send with
-      | Some send ->
-        place st send;
-        max from (st.cycle_of.(send) + 1)
-      | None -> from
+      if lfd_send >= 0 then begin
+        place st lfd_send;
+        max from (st.cycle_of.(lfd_send) + 1)
+      end
+      else from
     in
-    let ins = st.g.Dfg.prog.Program.body.(i) in
-    let ready = ready_cycle st i in
     let start = max from ready in
-    let c = Resource.first_fit st.res ~from:start ins in
-    Resource.reserve st.res ~cycle:c ins;
+    let c = Resource.first_fit_code st.res ~from:start st.fuc.(i) in
+    Resource.reserve_code st.res ~cycle:c st.fuc.(i);
     st.cycle_of.(i) <- c;
     if st.prov then begin
+      let ins = st.g.Dfg.prog.Program.body.(i) in
       let binding =
-        match lfd_send with
-        | Some send when st.cycle_of.(send) + 1 >= ready && st.cycle_of.(send) + 1 >= from_outer
-          -> Some { Provenance.pred = send; latency = 1; arc = "sync-order" }
-        | _ -> if from_outer > ready then ctx else binding_arc st i
+        if
+          lfd_send >= 0
+          && st.cycle_of.(lfd_send) + 1 >= ready
+          && st.cycle_of.(lfd_send) + 1 >= from_outer
+        then Some { Provenance.pred = lfd_send; latency = 1; arc = "sync-order" }
+        else if from_outer > ready then ctx
+        else binding_arc st i
       in
       Provenance.record ~scheduler:"new" ~prog:st.g.Dfg.prog.Program.name ~instr:i ~cycle:c
         ~ready ~candidates:1 ~priority:st.prio.(i)
@@ -106,50 +118,26 @@ let place_at_least st i ~from ?ctx () =
 
 (* --- synchronization paths --- *)
 
-type path_group = { key : float; paths : Dfg.sync_path list; order : int }
-
-let group_paths ~n_iters ~order_paths (paths : Dfg.sync_path list) =
-  match paths with
-  | [] -> []
-  | _ ->
-    let arr = Array.of_list paths in
-    let uf = Isched_util.Union_find.create (Array.length arr) in
-    let owner : (int, int) Hashtbl.t = Hashtbl.create 32 in
-    Array.iteri
-      (fun pi (p : Dfg.sync_path) ->
-        List.iter
-          (fun node ->
-            match Hashtbl.find_opt owner node with
-            | Some qi -> ignore (Isched_util.Union_find.union uf pi qi)
-            | None -> Hashtbl.add owner node pi)
-          p.Dfg.nodes)
-      arr;
-    let weight (p : Dfg.sync_path) =
-      float_of_int n_iters /. float_of_int (max 1 p.Dfg.distance)
-      *. float_of_int (List.length p.Dfg.nodes)
-    in
-    let groups =
-      Isched_util.Union_find.groups uf
-      |> List.map (fun (rep, members) ->
-             let paths = List.map (fun m -> arr.(m)) members in
-             let key = List.fold_left (fun acc p -> Float.max acc (weight p)) 0. paths in
-             let paths =
-               List.sort (fun a b -> compare (weight b, a.Dfg.wait_id) (weight a, b.Dfg.wait_id)) paths
-             in
-             { key; paths; order = rep })
-    in
-    if order_paths then
-      List.sort (fun a b -> compare (b.key, a.order) (a.key, b.order)) groups
-    else List.sort (fun a b -> compare a.order b.order) groups
+(* Component discovery and member ordering live in {!Dfg.sync_groups}
+   (machine independent, memoized with the graph); only the group-level
+   ordering is an option of this scheduler. *)
+let group_paths ~order_paths (groups : Dfg.path_group list) =
+  if order_paths then
+    List.sort
+      (fun (a : Dfg.path_group) (b : Dfg.path_group) ->
+        let c = Float.compare b.Dfg.gkey a.Dfg.gkey in
+        if c <> 0 then c else Int.compare a.Dfg.gorder b.Dfg.gorder)
+      groups
+  else groups (* already in ascending [gorder] *)
 
 (* Latency-only ASAP times, ignoring resources: the lower bound on any
    node's cycle.  Nodes already placed use their committed cycle. *)
 let asap_estimate st =
   let est = Array.make st.g.Dfg.n 0 in
   for i = 0 to st.g.Dfg.n - 1 do
-    List.iter
-      (fun (a : Dfg.arc) -> est.(i) <- max est.(i) (est.(a.src) + a.latency))
-      st.g.Dfg.preds.(i);
+    Dfg.iter_preds st.g i (fun a ->
+        let t = est.(Dfg.arc_node a) + Dfg.arc_latency a in
+        if t > est.(i) then est.(i) <- t);
     if placed st i then est.(i) <- max est.(i) st.cycle_of.(i)
   done;
   est
@@ -175,10 +163,10 @@ let place_path st (p : Dfg.sync_path) =
     let offs = Array.make k 0 in
     for i = 1 to k - 1 do
       let lat =
-        List.fold_left
-          (fun acc (a : Dfg.arc) -> if a.dst = nodes.(i) then max acc a.latency else acc)
-          1
-          st.g.Dfg.succs.(nodes.(i - 1))
+        let m = ref 1 in
+        Dfg.iter_succs st.g nodes.(i - 1) (fun a ->
+            if Dfg.arc_node a = nodes.(i) && Dfg.arc_latency a > !m then m := Dfg.arc_latency a);
+        !m
       in
       offs.(i) <- offs.(i - 1) + lat
     done;
@@ -202,61 +190,30 @@ let place_path st (p : Dfg.sync_path) =
       nodes
   end
 
-let run_inner ~options (g : Dfg.t) machine =
+let run_inner ~options ?baseline (g : Dfg.t) machine =
   let p = g.Dfg.prog in
   let n = g.Dfg.n in
   let st =
     {
       g;
-      res = Resource.create machine;
+      (* Pooled: dead before the nested baseline [List_sched.run] (the
+         only other scratch user on this domain) can reset it — every
+         placement happens above, the fallback comparison below only
+         reads finished schedules. *)
+      res = Resource.scratch machine;
       cycle_of = Array.make n (-1);
-      lfd_wait_send = Hashtbl.create 8;
+      (* Which waits become lexically forward is a property of the graph
+         alone; {!Dfg.lfd_sends} memoizes it across the machine
+         configurations this graph is scheduled under. *)
+      lfd_wait_send = Dfg.lfd_sends g;
       prov = Provenance.enabled ();
       prio = Dfg.longest_path_to_exit g;
+      fuc = Dfg.fu_codes g;
     }
   in
-  let paths = Dfg.sync_paths g in
-  let path_waits = List.map (fun (sp : Dfg.sync_path) -> List.hd sp.Dfg.nodes) paths in
-  (* Every wait not heading a sync path should become lexically forward:
-     its send placed first, the wait strictly after.  The paper assumes
-     the Sig/Wat/Sigwat graphs "do not depend on each other", but
-     compiled loops can violate that (e.g. an unrolled scalar update
-     yields two pairs whose sends each depend on the other pair's wait);
-     forcing both forward would deadlock the placement recursion.  An
-     ordering constraint send->wait is therefore accepted only when it
-     keeps the combined graph (data-flow arcs plus the constraints
-     accepted so far) acyclic; a rejected pair honestly stays backward. *)
-  let extra : (int, int list) Hashtbl.t = Hashtbl.create 8 in
-  let reaches src dst =
-    (* DFS over DFG arcs + accepted send->wait constraint edges. *)
-    let seen = Hashtbl.create 32 in
-    let rec go u =
-      u = dst
-      || (not (Hashtbl.mem seen u))
-         && begin
-              Hashtbl.add seen u ();
-              List.exists (fun (a : Dfg.arc) -> go a.dst) g.Dfg.succs.(u)
-              || List.exists go (Option.value ~default:[] (Hashtbl.find_opt extra u))
-            end
-    in
-    go src
-  in
-  Array.iter
-    (fun (w : Program.wait_info) ->
-      if not (List.mem w.wait_instr path_waits) then begin
-        let send = p.Program.signals.(w.signal).send_instr in
-        (* Adding send -> wait creates a cycle iff the wait already
-           reaches the send. *)
-        if not (reaches w.wait_instr send) then begin
-          Hashtbl.replace st.lfd_wait_send w.wait_instr send;
-          Hashtbl.replace extra send
-            (w.wait_instr :: Option.value ~default:[] (Hashtbl.find_opt extra send))
-        end
-      end)
-    p.Program.waits;
   (* Phase 1: Sigwat components' synchronization paths, worst first. *)
-  let groups = group_paths ~n_iters:p.Program.n_iters ~order_paths:options.order_paths paths in
-  List.iter (fun grp -> List.iter (place_path st) grp.paths) groups;
+  let groups = group_paths ~order_paths:options.order_paths (Dfg.sync_groups g) in
+  List.iter (fun grp -> List.iter (place_path st) grp.Dfg.gpaths) groups;
   (* Phase 2: sends (Sig graphs and any remaining Sigwat sends) as soon
      as possible, so the waits that must follow them stay early. *)
   Array.iter (fun (s : Program.signal_info) -> place st s.send_instr) p.Program.signals;
@@ -264,10 +221,7 @@ let run_inner ~options (g : Dfg.t) machine =
      order) so the fill is as dense as the list scheduler's.  Waits
      constrained to follow their sends do so via [lfd_wait_send] inside
      [place]. *)
-  let prio = st.prio in
-  let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare (-prio.(a), a) (-prio.(b), b)) order;
-  Array.iter (fun i -> place st i) order;
+  Array.iter (fun i -> place st i) (Dfg.priority_order g);
   let sched = Schedule.of_cycles p machine st.cycle_of in
   let sched = if options.compact then Schedule.compact sched g else sched in
   (* The paper's guarantee that the technique "never degrades the system
@@ -275,15 +229,17 @@ let run_inner ~options (g : Dfg.t) machine =
      would finish the loop earlier (possible on loops with little or no
      synchronization, where greedy ASAP filling can lose a row or two to
      critical-path ordering), return the list schedule instead. *)
-  let baseline = List_sched.run g machine in
+  let baseline =
+    match baseline with Some b -> b | None -> List_sched.run g machine
+  in
   if Lbd_model.exact_time baseline < Lbd_model.exact_time sched then begin
     Counters.incr c_fallbacks;
     baseline
   end
   else sched
 
-let run ?(options = default_options) (g : Dfg.t) machine =
+let run ?(options = default_options) ?baseline (g : Dfg.t) machine =
   Counters.incr c_runs;
-  let s = Span.with_ ~name:"sched.new" (fun () -> run_inner ~options g machine) in
+  let s = Span.with_ ~name:"sched.new" (fun () -> run_inner ~options ?baseline g machine) in
   Lbd_model.observe_sync_spans d_sync_span s;
   s

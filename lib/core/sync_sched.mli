@@ -36,5 +36,11 @@ type options = {
 
 val default_options : options
 
-(** [run ?options g m] schedules [g]'s program on machine [m]. *)
-val run : ?options:options -> Isched_dfg.Dfg.t -> Machine.t -> Schedule.t
+(** [run ?options ?baseline g m] schedules [g]'s program on machine [m].
+
+    [baseline], when given, must be [List_sched.run g m]'s result; the
+    never-degrade comparison then reuses it instead of re-running the
+    list scheduler.  Callers that already have that schedule (the bench
+    tables measure both) pass it to halve the list-scheduling work. *)
+val run :
+  ?options:options -> ?baseline:Schedule.t -> Isched_dfg.Dfg.t -> Machine.t -> Schedule.t

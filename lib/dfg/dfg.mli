@@ -12,7 +12,13 @@
       operation — a sink can never be scheduled before its wait.  The
       arc is duplicated to every earlier memory operation of the sink
       statement that may alias the sink (this covers the old-value load
-      of an if-converted guarded store). *)
+      of an if-converted guarded store).
+
+    Arcs are stored in two flat int-packed CSR arenas (successor and
+    transposed predecessor); the schedulers iterate them without
+    allocating.  Within a row, arcs appear in the exact order the old
+    [arc list array] representation produced, which placement recursion
+    and provenance tie-breaking depend on. *)
 
 module Program := Isched_ir.Program
 
@@ -24,22 +30,101 @@ type arc = { src : int; dst : int; latency : int; kind : arc_kind }
     the vocabulary used by provenance bindings and the explain output. *)
 val arc_kind_name : arc_kind -> string
 
+type sync_path = {
+  wait_id : int;  (** wait id in the program's wait table *)
+  signal : int;
+  distance : int;
+  nodes : int list;  (** a shortest directed path, wait node first,
+                          send node last *)
+}
+
+(** A connected component of synchronization paths (paths sharing at
+    least one node), as placed together by the new scheduler. *)
+type path_group = {
+  gkey : float;  (** worst member weight [n/d * |path|] *)
+  gpaths : sync_path list;  (** members, heaviest first *)
+  gorder : int;  (** union-find representative, the stable tie-break *)
+}
+
+(** Lazily-computed machine-independent derived data ({!sync_paths},
+    {!longest_path_to_exit}, {!lfd_sends}, {!sync_groups},
+    {!priority_order}), cached with the graph because the pipeline
+    schedules each graph under several machine configurations.
+    Internal to this library — treat the fields as private. *)
+type memo = {
+  mutable lp : int array option;
+  mutable paths : sync_path list option;
+  mutable lfd : int array option;
+  mutable groups : path_group list option;
+  mutable order : int array option;
+  mutable fuc : int array option;
+}
+
 type t = {
   prog : Program.t;
   n : int;  (** number of nodes = body length *)
-  succs : arc list array;  (** outgoing arcs per node *)
-  preds : arc list array;  (** incoming arcs per node *)
+  n_arcs : int;  (** total arc count *)
+  succ_off : int array;  (** length [n+1]; node [i]'s outgoing arcs are
+                             [succ_arc.(succ_off.(i) .. succ_off.(i+1)-1)] *)
+  succ_arc : int array;  (** packed outgoing arcs (see accessors below) *)
+  pred_off : int array;  (** transposed offsets *)
+  pred_arc : int array;  (** packed incoming arcs *)
+  memo : memo;  (** see {!memo} *)
 }
 
-(** [build p] constructs the graph.  O(n^2) in the body length, which is
-    fine for loop bodies.
+(** {2 Packed-arc accessors}
+
+    An entry of [succ_arc] packs the destination node, the arc kind and
+    the latency into one int (for [pred_arc], the source node).  *)
+
+(** [arc_node packed] — the other endpoint's node index. *)
+val arc_node : int -> int
+
+(** [arc_latency packed] — the arc's latency in cycles. *)
+val arc_latency : int -> int
+
+(** [arc_kind packed] — the arc's kind. *)
+val arc_kind : int -> arc_kind
+
+(** [succ_deg g i] / [pred_deg g i] — out-/in-degree of node [i]. *)
+val succ_deg : t -> int -> int
+
+val pred_deg : t -> int -> int
+
+(** [iter_succs g i f] applies [f] to each packed outgoing arc of [i],
+    in row order.  Allocation-free. *)
+val iter_succs : t -> int -> (int -> unit) -> unit
+
+(** [iter_preds g i f] — likewise for incoming arcs. *)
+val iter_preds : t -> int -> (int -> unit) -> unit
+
+(** [succs_list g i] / [preds_list g i] — boxed {!arc} views of one row,
+    in row order (identical to the pre-arena [arc list array]
+    contents).  For cold paths, debugging and tests. *)
+val succs_list : t -> int -> arc list
+
+val preds_list : t -> int -> arc list
+
+(** [build p] constructs the graph into a per-domain arena: near-linear
+    in body length + arc count (memory pairs are enumerated from
+    alias-class buckets, not an O(n^2) pairwise scan).  The returned
+    graph is immutable and safe to share across domains.
 
     [sync_arcs:false] omits the synchronization-condition arcs — the
     resulting graph describes what a scheduler oblivious to the paper's
     Section 2 conditions would see.  Schedules built over it can access
     stale data; the [stale_data_demo] example and the simulator tests
-    use this to reproduce the motivating bug. *)
+    use this to reproduce the motivating bug.
+
+    Updates the counters [dfg.arcs] (arcs constructed) and
+    [dfg.build_ns] (cumulative build nanoseconds). *)
 val build : ?sync_arcs:bool -> Program.t -> t
+
+(** [build_reference p] — the retained pre-arena list-based builder:
+    [(succs, preds)] with each node's arcs in the same order as
+    [succs_list]/[preds_list] of {!build}.  Differential oracle for the
+    property suite; do not use on hot paths. *)
+val build_reference : ?sync_arcs:bool -> Program.t -> arc list array * arc list array
 
 (** [may_alias a b] — conservative aliasing of two memory references:
     same base and (distinct affine element indices excepted) possibly the
@@ -78,25 +163,46 @@ val component_of : t -> component array -> int array
 
 (** {2 Synchronization paths} *)
 
-type sync_path = {
-  wait_id : int;  (** wait id in the program's wait table *)
-  signal : int;
-  distance : int;
-  nodes : int list;  (** a shortest directed path, wait node first,
-                          send node last *)
-}
-
 (** [sync_paths g] finds, for every wait whose [Send] is reachable from
     its [Wait] node, a shortest directed path between them (BFS; ties
     broken deterministically towards lower node indices).  Such a path
     makes the LBD unavoidable; its nodes are what the new scheduler
-    keeps contiguous. *)
+    keeps contiguous.  Memoized on the graph. *)
 val sync_paths : t -> sync_path list
+
+(** [sync_groups g] — {!sync_paths} grouped into connected components
+    (paths sharing a node), each group's members sorted heaviest first
+    and the group list sorted by ascending [gorder] (the canonical,
+    option-independent order).  Memoized on the graph; callers must not
+    mutate the result. *)
+val sync_groups : t -> path_group list
+
+(** [lfd_sends g] — for each node, [-1], except waits that should become
+    lexically forward in a schedule: there, the body index of the
+    matching [Send].  A wait heading a {!sync_paths} path is excluded
+    (its LBD is unavoidable), and a send->wait ordering constraint is
+    accepted only when the combined graph (arcs plus the constraints
+    accepted so far, in wait-table order) stays acyclic.  Memoized on
+    the graph; callers must not mutate the result. *)
+val lfd_sends : t -> int array
 
 (** [longest_path_to_exit g] — for every node, the maximum sum of arc
     latencies over paths to any sink; the classic list-scheduling
-    priority. *)
+    priority.  Memoized on the graph; callers must not mutate the
+    result. *)
 val longest_path_to_exit : t -> int array
+
+(** [priority_order g] — every node, sorted by descending
+    {!longest_path_to_exit} with ties towards lower indices (program
+    order).  Memoized on the graph; callers must not mutate the
+    result. *)
+val priority_order : t -> int array
+
+(** [fu_codes g] — per node, the function-unit demand as an int: [-1]
+    for none (sync operations), otherwise [Fu.index] of the kind; the
+    form the resource tracker's [_code] entry points consume.  Memoized
+    on the graph; callers must not mutate the result. *)
+val fu_codes : t -> int array
 
 (** [topo_order g] — a topological order of the nodes (original index as
     tie-break).  Raises [Invalid_argument] if the graph has a cycle

@@ -6,15 +6,14 @@ let reachability (g : Dfg.t) =
   let reach = Array.make_matrix n n false in
   for i = n - 1 downto 0 do
     reach.(i).(i) <- true;
-    List.iter
-      (fun (a : Dfg.arc) ->
-        match a.Dfg.kind with
+    Dfg.iter_succs g i (fun a ->
+        match Dfg.arc_kind a with
         | Dfg.Data | Dfg.Mem ->
+          let dst = Dfg.arc_node a in
           for j = 0 to n - 1 do
-            if reach.(a.Dfg.dst).(j) then reach.(i).(j) <- true
+            if reach.(dst).(j) then reach.(i).(j) <- true
           done
         | Dfg.Sync_src | Dfg.Sync_snk -> ())
-      g.Dfg.succs.(i)
   done;
   reach
 

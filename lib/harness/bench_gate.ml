@@ -5,6 +5,7 @@ type run = {
   unix_time : float;
   jobs : int;
   smoke : bool;
+  scale : int;
   stages : string;
   wall_clock_seconds : float;
   stage_seconds : (string * float) list;
@@ -60,6 +61,9 @@ let run_of_json v =
         unix_time = Option.value ~default:0. (num "unix_time");
         jobs = int_of_float jobs;
         smoke = Option.value ~default:false (bool_ "smoke");
+        (* Records written before --scale existed all ran the unscaled
+           corpus. *)
+        scale = (match num "scale" with Some s -> int_of_float s | None -> 1);
         stages = Option.value ~default:"all" (str "stages");
         wall_clock_seconds = wall;
         stage_seconds;
@@ -82,7 +86,8 @@ let compare_latest ?(threshold = 0.20) runs =
     let baseline =
       List.filter
         (fun r ->
-          r.jobs = candidate.jobs && r.smoke = candidate.smoke && r.stages = candidate.stages)
+          r.jobs = candidate.jobs && r.smoke = candidate.smoke
+          && r.scale = candidate.scale && r.stages = candidate.stages)
         older
     in
     let stat_of f rs = stats_of (List.map f rs) in
@@ -148,10 +153,10 @@ let compare_latest ?(threshold = 0.20) runs =
 let render_comparison c =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "perf comparison: candidate %s (jobs=%d, smoke=%b, stages=%s) vs %d prior run(s)\n"
+  add "perf comparison: candidate %s (jobs=%d, smoke=%b, scale=%d, stages=%s) vs %d prior run(s)\n"
     (if String.length c.candidate.git_rev > 12 then String.sub c.candidate.git_rev 0 12
      else c.candidate.git_rev)
-    c.candidate.jobs c.candidate.smoke c.candidate.stages c.baseline_runs;
+    c.candidate.jobs c.candidate.smoke c.candidate.scale c.candidate.stages c.baseline_runs;
   if c.baseline_runs = 0 then add "no matching baseline runs: nothing to compare against — OK\n"
   else begin
     add "  wall clock: %.3f s\n" c.candidate.wall_clock_seconds;

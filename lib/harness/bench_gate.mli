@@ -12,6 +12,10 @@ type run = {
   unix_time : float;
   jobs : int;
   smoke : bool;
+  scale : int;
+      (** corpus scale factor ([bench --scale N]); records written
+          before the flag existed parse as 1.  Baselines only match
+          runs at the same scale *)
   stages : string;
       (** canonical stage-filter label (["all"] when the record predates
           the [--stages] flag or ran everything); baselines only match
@@ -45,7 +49,7 @@ val stats_of : float list -> stat
 val parse_history : string -> (run list, string) result
 
 (** [compare_latest ?threshold runs] — newest run vs the mean of the
-    prior runs with the same [jobs], [smoke] and [stages].  A metric
+    prior runs with the same [jobs], [smoke], [scale] and [stages].  A metric
     regresses when [candidate > (1 + threshold) * mean] (default
     threshold 0.20).  Besides wall clock and [table_totals], every
     per-stage time is gated individually, so a tables-stage regression

@@ -18,6 +18,7 @@ type prepared =
   | Doall of Restructure.result
   | Doacross of {
       restructured : Restructure.result;
+      carried : Isched_deps.Dep.t list;  (* of the restructured loop *)
       prog : Program.t;
       graph : Isched_dfg.Dfg.t;
     }
@@ -97,14 +98,18 @@ let prepare_uncached (options : options) (l : Ast.loop) =
   Span.with_ ~name:"pipeline.prepare" ~args:[ ("loop", l.Ast.name) ] (fun () ->
       let restructured = Restructure.run l in
       let l' = restructured.Restructure.loop in
-      if Isched_deps.Dep.is_doall l' then Doall restructured
+      (* One dependence analysis decides DOALL and feeds the sync plan:
+         [carried_deps] is the expensive half of [prepare], and
+         [is_doall] + [Plan.build] used to each run it. *)
+      let carried = Isched_deps.Dep.carried_deps l' in
+      if carried = [] then Doall restructured
       else begin
         let prog =
           Isched_codegen.Codegen.compile ~eliminate:options.eliminate ~migrate:options.migrate
-            ?n_iters:options.n_iters l'
+            ~carried ?n_iters:options.n_iters l'
         in
         let graph = Isched_dfg.Dfg.build prog in
-        Doacross { restructured; prog; graph }
+        Doacross { restructured; carried; prog; graph }
       end)
 
 let prepare ?(options = default_options) (l : Ast.loop) =
@@ -202,3 +207,26 @@ let schedule_traced ?(options = default_options) ?validate prepared machine whic
 let loop_time ?(options = default_options) ?validate prepared machine which =
   let s = schedule ~options ?validate prepared machine which in
   (Isched_sim.Timing.run s).Isched_sim.Timing.finish
+
+let list_and_new_times ?(options = default_options) prepared machine =
+  match prepared with
+  | Doall r ->
+    invalid_arg
+      (Printf.sprintf "Pipeline.list_and_new_times: %s is a DOALL loop"
+         r.Restructure.loop.Ast.name)
+  | Doacross { graph; _ } ->
+    let s_list = Isched_core.List_sched.run graph machine in
+    let opts =
+      { Isched_core.Sync_sched.default_options with order_paths = options.order_paths }
+    in
+    (* The list schedule doubles as the new scheduler's never-degrade
+       baseline: both measurements cost one list run instead of two.
+       When the comparison falls back it returns the baseline itself, so
+       physical equality marks the second simulation as redundant. *)
+    let s_new = Isched_core.Sync_sched.run ~options:opts ~baseline:s_list graph machine in
+    let t_list = (Isched_sim.Timing.run s_list).Isched_sim.Timing.finish in
+    let t_new =
+      if s_new == s_list then t_list
+      else (Isched_sim.Timing.run s_new).Isched_sim.Timing.finish
+    in
+    (t_list, t_new)

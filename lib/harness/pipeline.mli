@@ -28,6 +28,10 @@ type prepared =
           "extract loops which cannot be parallelized" step *)
   | Doacross of {
       restructured : Isched_transform.Restructure.result;
+      carried : Isched_deps.Dep.t list;
+          (** the restructured loop's loop-carried dependences — the
+              analysis that decided DOACROSS, kept for downstream
+              consumers (e.g. categorization) so they need not rerun it *)
       prog : Program.t;
       graph : Isched_dfg.Dfg.t;
     }
@@ -41,6 +45,11 @@ type prepared =
     mutex and safe to hit from {!Isched_util.Pool} workers; the cached
     structures are never mutated downstream. *)
 val prepare : ?options:options -> Ast.loop -> prepared
+
+(** [prepare_uncached options l] — {!prepare} without the memo: nothing
+    is retained after the result is dropped.  The streamed scaled-corpus
+    path uses this so a 1000× suite never accumulates in the cache. *)
+val prepare_uncached : options -> Ast.loop -> prepared
 
 (** [memo_stats ()] — cumulative (hits, misses) of the {!prepare} memo
     cache.  Backed by the {!Isched_obs.Counters} registry (counters
@@ -101,5 +110,12 @@ val scheduler_tag : scheduler -> string
     raises [Invalid_argument] on [Doall].  [validate] as in
     {!schedule}. *)
 val loop_time : ?options:options -> ?validate:bool -> prepared -> Machine.t -> scheduler -> int
+
+(** [list_and_new_times ?options prepared m] — [loop_time] for
+    [List_scheduling] and [New_scheduling] in one call, reusing the list
+    schedule as the new scheduler's never-degrade baseline so the list
+    scheduler runs once instead of twice.  Results are identical to two
+    separate {!loop_time} calls (both schedulers are deterministic). *)
+val list_and_new_times : ?options:options -> prepared -> Machine.t -> int * int
 
 val scheduler_name : scheduler -> string

@@ -29,7 +29,7 @@ let corpus_stats (b : Suite.benchmark) =
   let lbd = List.fold_left (fun acc p -> acc + Program.n_lbd p) 0 progs in
   (source_lines, List.length loops, n_doall, dlx, lfd, lbd)
 
-let table1 benches =
+let table1_of_rows rows =
   let t =
     Table.create ~title:"Table 1 - Characteristics of the Perfect-surrogate corpora"
       ~columns:
@@ -45,15 +45,21 @@ let table1 benches =
   in
   let totals = Array.make 6 0 in
   List.iter
-    (fun (b : Suite.benchmark) ->
-      let l, nl, nd, dlx, lfd, lbd = corpus_stats b in
-      let row = [ l; nl; nd; dlx; lfd; lbd ] in
+    (fun (name, row) ->
       List.iteri (fun i v -> totals.(i) <- totals.(i) + v) row;
-      Table.add_row t (b.Suite.profile.Isched_perfect.Profile.name :: List.map Table.fmt_int row))
-    benches;
+      Table.add_row t (name :: List.map Table.fmt_int row))
+    rows;
   Table.add_sep t;
   Table.add_row t ("TOTAL" :: Array.to_list (Array.map Table.fmt_int totals));
   t
+
+let table1 benches =
+  table1_of_rows
+    (List.map
+       (fun (b : Suite.benchmark) ->
+         let l, nl, nd, dlx, lfd, lbd = corpus_stats b in
+         (b.Suite.profile.Isched_perfect.Profile.name, [ l; nl; nd; dlx; lfd; lbd ]))
+       benches)
 
 (* --- Tables 2 and 3 --- *)
 
@@ -175,7 +181,7 @@ let overall ms =
 
 (* --- categories --- *)
 
-let categories benches =
+let categories_of_rows rows =
   let module Doall = Isched_transform.Doall in
   let cats = Doall.all_categories in
   let columns =
@@ -183,26 +189,166 @@ let categories benches =
     :: (List.map (fun c -> (Doall.category_name c, Table.Right)) cats @ [ ("doall", Table.Right) ])
   in
   let t = Table.create ~title:"DOACROSS loop categories (Chen & Yew's six types)" ~columns in
-  List.iter
-    (fun (b : Suite.benchmark) ->
-      let counts = Hashtbl.create 8 in
-      let doall = ref 0 in
-      List.iter
-        (fun l ->
-          let l' = (Isched_transform.Restructure.run l).Isched_transform.Restructure.loop in
-          if Isched_deps.Dep.is_doall l' then incr doall
-          else begin
-            let c = Doall.categorize l in
-            Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c))
-          end)
-        b.Suite.loops;
-      let cells =
-        List.map (fun c -> Table.fmt_int (Option.value ~default:0 (Hashtbl.find_opt counts c))) cats
-        @ [ Table.fmt_int !doall ]
-      in
-      Table.add_row t (b.Suite.profile.Isched_perfect.Profile.name :: cells))
-    benches;
+  List.iter (fun (name, cells) -> Table.add_row t (name :: List.map Table.fmt_int cells)) rows;
   t
+
+let categories benches =
+  let module Doall = Isched_transform.Doall in
+  let cats = Doall.all_categories in
+  categories_of_rows
+    (List.map
+       (fun (b : Suite.benchmark) ->
+         let counts = Hashtbl.create 8 in
+         let doall = ref 0 in
+         List.iter
+           (fun l ->
+             let l' = (Isched_transform.Restructure.run l).Isched_transform.Restructure.loop in
+             if Isched_deps.Dep.is_doall l' then incr doall
+             else begin
+               let c = Doall.categorize l in
+               Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c))
+             end)
+           b.Suite.loops;
+         let cells =
+           List.map (fun c -> Option.value ~default:0 (Hashtbl.find_opt counts c)) cats @ [ !doall ]
+         in
+         (b.Suite.profile.Isched_perfect.Profile.name, cells))
+       benches)
+
+(* --- streamed, scaled tables --- *)
+
+module Profile = Isched_perfect.Profile
+
+(* One (profile x chunk) cell of a scaled run, fully aggregated: the
+   loops themselves are dropped as soon as the summary ints exist, so
+   memory stays bounded by the chunk size whatever the scale.  All
+   fields are sums of per-loop ints — associative — so folding the
+   summaries gives totals independent of chunking and job count. *)
+type chunk_summary = {
+  cs_profile : string;
+  cs_stats : int array;  (* lines, loops, doall, dlx, lfd, lbd *)
+  cs_meas : (string * int * int) list;  (* config -> (t_list, t_new) *)
+  cs_cats : int list;  (* per-category counts @ [doall], categories order *)
+}
+
+let summarize_chunk configs (c : Suite.chunk) =
+  let module Doall = Isched_transform.Doall in
+  let loops = Suite.chunk_loops c in
+  (* [prepare_uncached]: a 1000x corpus must not accumulate in the memo. *)
+  let prepared =
+    List.map (fun l -> (l, Pipeline.prepare_uncached Pipeline.default_options l)) loops
+  in
+  let source_lines = List.fold_left (fun acc (l, _) -> acc + Ast.source_lines l) 0 prepared in
+  let doacross =
+    List.filter_map
+      (fun (l, p) -> match p with Pipeline.Doacross _ -> Some (l, p) | Pipeline.Doall _ -> None)
+      prepared
+  in
+  let n_doall = List.length prepared - List.length doacross in
+  let progs =
+    List.filter_map
+      (fun (_, p) -> match p with Pipeline.Doacross { prog; _ } -> Some prog | _ -> None)
+      doacross
+  in
+  let dlx = List.fold_left (fun acc p -> acc + Array.length p.Program.body) 0 progs in
+  let lfd = List.fold_left (fun acc p -> acc + Program.n_lfd p) 0 progs in
+  let lbd = List.fold_left (fun acc p -> acc + Program.n_lbd p) 0 progs in
+  let cs_meas =
+    List.map
+      (fun (cname, m) ->
+        let tl, tn =
+          List.fold_left
+            (fun (atl, atn) (_, p) ->
+              let tl, tn = Pipeline.list_and_new_times p m in
+              (atl + tl, atn + tn))
+            (0, 0) doacross
+        in
+        (cname, tl, tn))
+      configs
+  in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (l, p) ->
+      (* Categorization reads the dependences of the ORIGINAL loop; when
+         restructuring was the identity (the common case for loops that
+         stay DOACROSS) those are exactly the [carried] the preparation
+         already computed. *)
+      let cat =
+        match p with
+        | Pipeline.Doacross { restructured; carried; _ }
+          when restructured.Isched_transform.Restructure.loop == l ->
+          Doall.categorize ~carried l
+        | _ -> Doall.categorize l
+      in
+      Hashtbl.replace counts cat (1 + Option.value ~default:0 (Hashtbl.find_opt counts cat)))
+    doacross;
+  let cs_cats =
+    List.map
+      (fun cat -> Option.value ~default:0 (Hashtbl.find_opt counts cat))
+      Doall.all_categories
+    @ [ n_doall ]
+  in
+  {
+    cs_profile = c.Suite.profile.Profile.name;
+    cs_stats = [| source_lines; List.length loops; n_doall; dlx; lfd; lbd |];
+    cs_meas;
+    cs_cats;
+  }
+
+let scaled_tables ?jobs ?(chunk_size = 64) ~scale profiles configs =
+  let cells = List.concat_map (fun p -> Suite.chunks ~chunk_size ~scale p) profiles in
+  let summaries = Pool.map ?jobs (summarize_chunk configs) cells in
+  let by_profile (p : Profile.t) =
+    List.filter (fun s -> s.cs_profile = p.Profile.name) summaries
+  in
+  let t1 =
+    table1_of_rows
+      (List.map
+         (fun (p : Profile.t) ->
+           let row = Array.make 6 0 in
+           List.iter
+             (fun s -> Array.iteri (fun i v -> row.(i) <- row.(i) + v) s.cs_stats)
+             (by_profile p);
+           (p.Profile.name, Array.to_list row))
+         profiles)
+  in
+  let ms =
+    List.concat_map
+      (fun (p : Profile.t) ->
+        let ss = by_profile p in
+        List.map
+          (fun (cname, _) ->
+            let pick f =
+              List.fold_left
+                (fun acc s ->
+                  List.fold_left
+                    (fun acc (c, tl, tn) -> if c = cname then acc + f tl tn else acc)
+                    acc s.cs_meas)
+                0 ss
+            in
+            {
+              benchmark = p.Profile.name;
+              config = cname;
+              t_list = pick (fun tl _ -> tl);
+              t_new = pick (fun _ tn -> tn);
+            })
+          configs)
+      profiles
+  in
+  let cats =
+    categories_of_rows
+      (List.map
+         (fun (p : Profile.t) ->
+           match by_profile p with
+           | [] -> (p.Profile.name, [])
+           | first :: _ as ss ->
+             let n = List.length first.cs_cats in
+             let row = Array.make n 0 in
+             List.iter (fun s -> List.iteri (fun i v -> row.(i) <- row.(i) + v) s.cs_cats) ss;
+             (p.Profile.name, Array.to_list row))
+         profiles)
+  in
+  (t1, ms, cats)
 
 (* --- ablations --- *)
 

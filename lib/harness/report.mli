@@ -46,6 +46,26 @@ val overall : measurement list -> float * float
 
 val categories : Suite.benchmark list -> Table.t
 
+(** {2 Streamed, scaled tables ([bench --scale N])} *)
+
+(** [scaled_tables ?jobs ?chunk_size ~scale profiles configs] — Tables
+    1, 2/3 measurements and the category table for a [scale]×
+    generated corpus, computed without ever materializing it: the loop
+    stream of every profile is cut into independent chunks
+    ({!Isched_perfect.Suite.chunks}, [chunk_size] generated loops each),
+    one (profile x chunk) cell per pool task, and each cell reduces its
+    loops to a handful of integer sums before the next chunk is
+    generated.  Sums are associative, so the returned tables are
+    byte-identical for every job count and chunk size.  Returns
+    [(table1, measurements, categories)]. *)
+val scaled_tables :
+  ?jobs:int ->
+  ?chunk_size:int ->
+  scale:int ->
+  Isched_perfect.Profile.t list ->
+  (string * Machine.t) list ->
+  Table.t * measurement list * Table.t
+
 (** {2 Ablations} *)
 
 (** A1: value of ordering sync-path groups by damage [(n/d)|SP|]. *)

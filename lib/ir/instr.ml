@@ -56,6 +56,26 @@ let uses i =
   | Store_scalar { src; _ } -> of_op src
   | Send _ | Wait _ -> []
 
+(* Allocation-free twin of [uses], same visit order: the DFG builder
+   walks every instruction's uses on the corpus hot path. *)
+let iter_uses i f =
+  let op o = match Operand.reg o with Some r -> f r | None -> () in
+  match i with
+  | Bin { a; b; _ } ->
+    op a;
+    op b
+  | Select { cond; if_true; if_false; _ } ->
+    op cond;
+    op if_true;
+    op if_false
+  | Load { addr; _ } -> op addr
+  | Store { addr; src; _ } ->
+    op addr;
+    op src
+  | Load_scalar _ -> ()
+  | Store_scalar { src; _ } -> op src
+  | Send _ | Wait _ -> ()
+
 let is_sync = function Send _ | Wait _ -> true | _ -> false
 
 let is_mem = function

@@ -57,6 +57,10 @@ val def : t -> int option
 (** [uses i] lists the virtual registers read by [i]. *)
 val uses : t -> int list
 
+(** [iter_uses i f] applies [f] to every register [i] reads, in the same
+    order as {!uses}, without allocating. *)
+val iter_uses : t -> (int -> unit) -> unit
+
 (** [is_sync i] is true for [Send] and [Wait]. *)
 val is_sync : t -> bool
 

@@ -137,19 +137,30 @@ let doacross_body rng p ~loop_idx =
 
 let relabel body = List.mapi (fun i s -> { s with Ast.label = Printf.sprintf "S%d" (i + 1) }) body
 
-let generate (p : Profile.t) =
-  let rng = Prng.create p.Profile.seed in
-  List.init p.Profile.n_generated (fun idx ->
-      let lrng = Prng.split rng in
-      let doall = Prng.bool lrng p.Profile.doall_frac in
-      let body =
-        if doall then doall_body lrng p else doacross_body lrng p ~loop_idx:(idx + 1)
-      in
-      let loop =
-        Ast.make_loop
-          ~kind:(if doall then Ast.Do else Ast.Doacross)
-          ~index:"I" ~lo:1 ~hi:p.Profile.n_iters ~body:(relabel body)
-          ~name:(Printf.sprintf "%s.G%d" p.Profile.name (idx + 1))
-      in
-      Isched_frontend.Sema.check_exn loop;
-      loop)
+(* One loop of the (conceptually infinite) generated stream.  The
+   per-loop generator is addressed by [Prng.split_nth], so [nth] is a
+   pure function of (profile, idx): a scaled corpus is an exact
+   superset of the unscaled one, and shards can be produced in any
+   order on any domain with identical results. *)
+let nth (p : Profile.t) idx =
+  let lrng = Prng.split_nth (Prng.create p.Profile.seed) idx in
+  let doall = Prng.bool lrng p.Profile.doall_frac in
+  let body =
+    if doall then doall_body lrng p else doacross_body lrng p ~loop_idx:(idx + 1)
+  in
+  let loop =
+    Ast.make_loop
+      ~kind:(if doall then Ast.Do else Ast.Doacross)
+      ~index:"I" ~lo:1 ~hi:p.Profile.n_iters ~body:(relabel body)
+      ~name:(Printf.sprintf "%s.G%d" p.Profile.name (idx + 1))
+  in
+  Isched_frontend.Sema.check_exn loop;
+  loop
+
+let generate_range (p : Profile.t) ~lo ~hi =
+  if lo < 0 || hi < lo then invalid_arg "Genloop.generate_range";
+  List.init (hi - lo) (fun k -> nth p (lo + k))
+
+let generate ?(scale = 1) (p : Profile.t) =
+  if scale < 1 then invalid_arg "Genloop.generate: scale must be >= 1";
+  generate_range p ~lo:0 ~hi:(p.Profile.n_generated * scale)

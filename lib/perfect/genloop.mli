@@ -22,6 +22,18 @@
 
 module Ast := Isched_frontend.Ast
 
-(** [generate p] — the generated loops of profile [p] (signature loops
-    are added separately by {!Suite}). *)
-val generate : Profile.t -> Ast.loop list
+(** [generate ?scale p] — the generated loops of profile [p] (signature
+    loops are added separately by {!Suite}).  [scale] (default 1)
+    multiplies the loop count; the first [n_generated] loops of any
+    scale are byte-identical to the unscaled corpus. *)
+val generate : ?scale:int -> Profile.t -> Ast.loop list
+
+(** [generate_range p ~lo ~hi] — loops [lo, hi) of the generated stream,
+    computed independently of every other index ([Prng.split_nth]): the
+    building block for streaming a scaled corpus in bounded memory,
+    sharded across domains in any order. *)
+val generate_range : Profile.t -> lo:int -> hi:int -> Ast.loop list
+
+(** [nth p idx] — the [idx]-th generated loop, a pure function of
+    (profile, index). *)
+val nth : Profile.t -> int -> Ast.loop

@@ -107,9 +107,31 @@ let signature_sources (p : Profile.t) =
   | "ADM" -> adm_src
   | other -> invalid_arg ("Suite.signature_sources: unknown benchmark " ^ other)
 
-let load (p : Profile.t) =
+let signature_loops (p : Profile.t) =
   let sig_loops = Isched_frontend.Parser.parse ~name:p.Profile.name (signature_sources p) in
   List.iter Isched_frontend.Sema.check_exn sig_loops;
-  { profile = p; loops = sig_loops @ Genloop.generate p }
+  sig_loops
 
-let all () = List.map load Profile.all
+let load ?(scale = 1) (p : Profile.t) =
+  { profile = p; loops = signature_loops p @ Genloop.generate ~scale p }
+
+let all () = List.map (fun p -> load p) Profile.all
+
+(* --- streaming --- *)
+
+type chunk = { profile : Profile.t; lo : int; hi : int; with_signature : bool }
+
+let chunks ?(chunk_size = 64) ~scale (p : Profile.t) =
+  if scale < 1 then invalid_arg "Suite.chunks: scale must be >= 1";
+  if chunk_size < 1 then invalid_arg "Suite.chunks: chunk_size must be >= 1";
+  let total = p.Profile.n_generated * scale in
+  let n_chunks = max 1 ((total + chunk_size - 1) / chunk_size) in
+  List.init n_chunks (fun i ->
+      { profile = p;
+        lo = i * chunk_size;
+        hi = min total ((i + 1) * chunk_size);
+        with_signature = i = 0 })
+
+let chunk_loops (c : chunk) =
+  let sigs = if c.with_signature then signature_loops c.profile else [] in
+  sigs @ Genloop.generate_range c.profile ~lo:c.lo ~hi:c.hi

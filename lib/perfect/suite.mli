@@ -9,12 +9,33 @@ type benchmark = {
   loops : Ast.loop list;  (** signature loops first, then generated *)
 }
 
-(** [load p] builds one corpus. *)
-val load : Profile.t -> benchmark
+(** [load ?scale p] builds one corpus.  [scale] (default 1) multiplies
+    the generated-loop count; the unscaled corpus is a prefix of every
+    scaled one.  Large scales should prefer the streaming API below. *)
+val load : ?scale:int -> Profile.t -> benchmark
 
 (** [all ()] — the five corpora in paper order
     (FLQ52, QCD, MDG, TRACK, ADM). *)
 val all : unit -> benchmark list
+
+(** A bounded slice of one benchmark's loop stream: generated-loop
+    indices [lo, hi), plus the hand-written signature loops when
+    [with_signature] (true only for the first chunk).  Chunks are
+    independent — any domain can materialize any chunk in any order
+    with identical results — which is what lets [bench] run a 100×–1000×
+    corpus without ever holding it in memory. *)
+type chunk = { profile : Profile.t; lo : int; hi : int; with_signature : bool }
+
+(** [chunks ?chunk_size ~scale p] — descriptors covering the whole
+    scaled stream of [p] ([chunk_size] generated loops each,
+    default 64). *)
+val chunks : ?chunk_size:int -> scale:int -> Profile.t -> chunk list
+
+(** [chunk_loops c] materializes one chunk. *)
+val chunk_loops : chunk -> Ast.loop list
+
+(** [signature_loops p] — the parsed, checked hand-written loops. *)
+val signature_loops : Profile.t -> Ast.loop list
 
 (** [signature_sources p] — the hand-written loops' source text (used by
     the quickstart example and the docs). *)

@@ -76,53 +76,80 @@ let run_rows_inner ?n_procs ?(assignment = `Cyclic) ?(extrapolate = true) (p : P
   let post = Array.init n_signals (fun _ -> Array.make (max n 1) (-1)) in
   let iteration_starts = Array.make (max n 1) 0 in
   let stall_of = Array.make (max n 1) 0 in
+  (* Event compression: an iteration's clock advances exactly one cycle
+     per row, except at rows containing a Wait (which can stall it) or a
+     Send (which must record its post cycle).  Collecting those rows
+     once lets [simulate] skip every plain row in O(1) instead of
+     re-matching the whole body per iteration. *)
+  let n_rows = Array.length rows in
+  let ev_rows, ev_waits, ev_sends =
+    let rs = ref [] and ws = ref [] and ss = ref [] in
+    for r = n_rows - 1 downto 0 do
+      let row_waits = ref [] and row_sends = ref [] in
+      let row = rows.(r) in
+      for x = Array.length row - 1 downto 0 do
+        match p.Program.body.(row.(x)) with
+        | Instr.Wait { wait } -> row_waits := wait :: !row_waits
+        | Instr.Send { signal } -> row_sends := signal :: !row_sends
+        | _ -> ()
+      done;
+      if !row_waits <> [] || !row_sends <> [] then begin
+        rs := r :: !rs;
+        ws := Array.of_list !row_waits :: !ws;
+        ss := Array.of_list !row_sends :: !ss
+      end
+    done;
+    (Array.of_list !rs, Array.of_list !ws, Array.of_list !ss)
+  in
+  let n_ev = Array.length ev_rows in
   let simulate k =
     let proc_free = match prev_on_proc k with Some j -> finish_at.(j) | None -> 0 in
     let t = ref (proc_free - 1) in
-    let first = ref None in
     let stalls = ref 0 in
-    Array.iter
-      (fun row ->
-        let earliest = !t + 1 in
-        let ready = ref earliest in
-        Array.iter
-          (fun i ->
-            match p.Program.body.(i) with
-            | Instr.Wait { wait } ->
-              let w = p.Program.waits.(wait) in
-              let from = k - w.Program.distance in
-              if from >= 0 then begin
-                let posted = post.(w.Program.signal).(from) in
-                (* Signals flow from lower iterations, simulated already;
-                   a send present in the rows has always executed by now.
-                   [posted < 0] therefore means the matching Send is
-                   absent from the row layout — an invalid schedule, not
-                   a simulator bug — and is diagnosed as such. *)
-                if posted < 0 then
-                  raise
-                    (Invalid_schedule
-                       {
-                         prog = p.Program.name;
-                         iteration = k;
-                         wait = w.Program.wait;
-                         signal = w.Program.signal;
-                         posting_iteration = from;
-                       });
-                ready := max !ready (posted + 1)
-              end
-            | _ -> ())
-          row;
-        stalls := !stalls + (!ready - earliest);
-        t := !ready;
-        if !first = None then first := Some !t;
-        Array.iter
-          (fun i ->
-            match p.Program.body.(i) with
-            | Instr.Send { signal } -> post.(signal).(k) <- !t
-            | _ -> ())
-          row)
-      rows;
-    iteration_starts.(k) <- (match !first with Some c -> c | None -> proc_free);
+    (* The iteration start is the clock after row 0: [proc_free] unless
+       row 0 itself holds a wait that pushes it. *)
+    let start0 = ref proc_free in
+    let prev_row = ref (-1) in
+    for e = 0 to n_ev - 1 do
+      let r = ev_rows.(e) in
+      t := !t + (r - !prev_row - 1);
+      let earliest = !t + 1 in
+      let ready = ref earliest in
+      let ws = ev_waits.(e) in
+      for x = 0 to Array.length ws - 1 do
+        let w = p.Program.waits.(ws.(x)) in
+        let from = k - w.Program.distance in
+        if from >= 0 then begin
+          let posted = post.(w.Program.signal).(from) in
+          (* Signals flow from lower iterations, simulated already; a
+             send present in the rows has always executed by now.
+             [posted < 0] therefore means the matching Send is absent
+             from the row layout — an invalid schedule, not a simulator
+             bug — and is diagnosed as such. *)
+          if posted < 0 then
+            raise
+              (Invalid_schedule
+                 {
+                   prog = p.Program.name;
+                   iteration = k;
+                   wait = w.Program.wait;
+                   signal = w.Program.signal;
+                   posting_iteration = from;
+                 });
+          if posted + 1 > !ready then ready := posted + 1
+        end
+      done;
+      stalls := !stalls + (!ready - earliest);
+      t := !ready;
+      if r = 0 then start0 := !t;
+      let ss = ev_sends.(e) in
+      for x = 0 to Array.length ss - 1 do
+        post.(ss.(x)).(k) <- !t
+      done;
+      prev_row := r
+    done;
+    t := !t + (n_rows - 1 - !prev_row);
+    iteration_starts.(k) <- (if n_rows = 0 then proc_free else !start0);
     finish_at.(k) <- !t + 1;
     stall_of.(k) <- !stalls
   in

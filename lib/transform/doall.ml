@@ -18,8 +18,8 @@ let parallelize l =
 let stmt_guarded (l : Ast.loop) i =
   match List.nth_opt l.body i with Some s -> s.Ast.guard <> None | None -> false
 
-let categorize (l : Ast.loop) =
-  let carried = Dep.carried_deps l in
+let categorize ?carried (l : Ast.loop) =
+  let carried = match carried with Some c -> c | None -> Dep.carried_deps l in
   let involves_guard (d : Dep.t) =
     stmt_guarded l d.src.Isched_deps.Access.stmt || stmt_guarded l d.snk.Isched_deps.Access.stmt
   in

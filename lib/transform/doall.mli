@@ -25,10 +25,12 @@ val is_doall : Ast.loop -> bool
     Fig. 5 pipeline. *)
 val parallelize : Ast.loop -> [ `Doall of Restructure.result | `Doacross of Restructure.result ]
 
-(** [categorize l] assigns the loop to the first matching of the six
-    types, in the paper's order.  Only meaningful for loops that are not
-    DOALL. *)
-val categorize : Ast.loop -> category
+(** [categorize ?carried l] assigns the loop to the first matching of
+    the six types, in the paper's order.  Only meaningful for loops that
+    are not DOALL.  [carried], when given, must equal
+    [Dep.carried_deps l]; callers that already ran the analysis pass it
+    along instead of paying for it again. *)
+val categorize : ?carried:Isched_deps.Dep.t list -> Ast.loop -> category
 
 val category_name : category -> string
 val all_categories : category list

@@ -18,6 +18,15 @@ let split t =
   let s = bits64 t in
   { state = mix64 s }
 
+(* O(1) random access into the split stream: [split_nth t i] equals the
+   i-th (0-based) generator a sequence of [split t] calls would return,
+   without mutating [t].  [bits64] adds the gamma before mixing, so the
+   i-th sequential split sees state [t.state + (i+1) * gamma]. *)
+let split_nth t i =
+  if i < 0 then invalid_arg "Prng.split_nth: negative index";
+  let s = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
+  { state = mix64 (mix64 s) }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection-free for our purposes: modulo bias is negligible for the

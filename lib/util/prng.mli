@@ -19,6 +19,12 @@ val copy : t -> t
     statistically independent from the remainder of [t]'s stream. *)
 val split : t -> t
 
+(** [split_nth t i] is the generator the [i]-th (0-based) call of a
+    sequence of [split t] calls would return, computed in O(1) and
+    without mutating [t].  This is what lets corpus generation jump to
+    an arbitrary loop index when streaming a scaled suite. *)
+val split_nth : t -> int -> t
+
 (** [bits64 t] returns the next raw 64-bit output. *)
 val bits64 : t -> int64
 

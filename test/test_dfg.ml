@@ -19,7 +19,7 @@ let fig1 =
 let fig1_graph () = Dfg.build (compile fig1)
 
 let has_arc g ~src ~dst kind =
-  List.exists (fun (a : Dfg.arc) -> a.Dfg.dst = dst && a.Dfg.kind = kind) g.Dfg.succs.(src)
+  List.exists (fun (a : Dfg.arc) -> a.Dfg.dst = dst && a.Dfg.kind = kind) (Dfg.succs_list g src)
 
 (* --- aliasing --- *)
 
@@ -69,13 +69,15 @@ let test_sync_arcs () =
 
 let test_no_sync_arcs_variant () =
   let g = Dfg.build ~sync_arcs:false (compile fig1) in
-  let any_sync =
-    Array.exists
-      (fun arcs ->
-        List.exists (fun (a : Dfg.arc) -> a.Dfg.kind = Dfg.Sync_src || a.Dfg.kind = Dfg.Sync_snk) arcs)
-      g.Dfg.succs
-  in
-  Alcotest.(check bool) "no sync arcs" false any_sync
+  let any_sync = ref false in
+  for i = 0 to g.Dfg.n - 1 do
+    if
+      List.exists
+        (fun (a : Dfg.arc) -> a.Dfg.kind = Dfg.Sync_src || a.Dfg.kind = Dfg.Sync_snk)
+        (Dfg.succs_list g i)
+    then any_sync := true
+  done;
+  Alcotest.(check bool) "no sync arcs" false !any_sync
 
 let test_arc_latencies () =
   let g = Dfg.build (compile "DO I = 1, 10\n A[I] = E[I] * C[I] / 2\nENDDO") in
@@ -86,7 +88,9 @@ let test_arc_latencies () =
       (fun i ins ->
         match ins with
         | Instr.Bin { op = o; _ } when o = op ->
-          List.iter (fun (a : Dfg.arc) -> if a.Dfg.kind = Dfg.Data then found := Some a.Dfg.latency) g.Dfg.succs.(i)
+          List.iter
+            (fun (a : Dfg.arc) -> if a.Dfg.kind = Dfg.Data then found := Some a.Dfg.latency)
+            (Dfg.succs_list g i)
         | _ -> ())
       g.Dfg.prog.Program.body;
     !found
@@ -179,7 +183,7 @@ let test_sync_path_shortest () =
       (* consecutive nodes connected by arcs *)
       let rec ok = function
         | a :: b :: rest ->
-          List.exists (fun (arc : Dfg.arc) -> arc.Dfg.dst = b) g.Dfg.succs.(a) && ok (b :: rest)
+          List.exists (fun (arc : Dfg.arc) -> arc.Dfg.dst = b) (Dfg.succs_list g a) && ok (b :: rest)
         | _ -> true
       in
       Alcotest.(check bool) "path follows arcs" true (ok sp.Dfg.nodes))
@@ -198,16 +202,16 @@ let test_longest_path () =
   (* dist is a consistent longest-path labelling: every arc satisfies
      dist(src) >= latency + dist(dst), with equality on some arc for
      non-terminal nodes. *)
-  Array.iteri
-    (fun i arcs ->
-      List.iter
-        (fun (a : Dfg.arc) ->
-          Alcotest.(check bool) "monotone" true (dist.(i) >= a.Dfg.latency + dist.(a.Dfg.dst)))
-        arcs;
-      if arcs <> [] then
-        Alcotest.(check bool) "tight" true
-          (List.exists (fun (a : Dfg.arc) -> dist.(i) = a.Dfg.latency + dist.(a.Dfg.dst)) arcs))
-    g.Dfg.succs
+  for i = 0 to g.Dfg.n - 1 do
+    let arcs = Dfg.succs_list g i in
+    List.iter
+      (fun (a : Dfg.arc) ->
+        Alcotest.(check bool) "monotone" true (dist.(i) >= a.Dfg.latency + dist.(a.Dfg.dst)))
+      arcs;
+    if arcs <> [] then
+      Alcotest.(check bool) "tight" true
+        (List.exists (fun (a : Dfg.arc) -> dist.(i) = a.Dfg.latency + dist.(a.Dfg.dst)) arcs)
+  done
 
 let test_dot_output () =
   let g = fig1_graph () in
@@ -227,13 +231,12 @@ let test_graph_is_acyclic_forward () =
       List.iter
         (fun l ->
           let g = Dfg.build (Isched_codegen.Codegen.compile l) in
-          Array.iteri
-            (fun i arcs ->
-              List.iter
-                (fun (a : Dfg.arc) ->
-                  Alcotest.(check bool) "forward arc" true (a.Dfg.src = i && a.Dfg.dst > i))
-                arcs)
-            g.Dfg.succs)
+          for i = 0 to g.Dfg.n - 1 do
+            List.iter
+              (fun (a : Dfg.arc) ->
+                Alcotest.(check bool) "forward arc" true (a.Dfg.src = i && a.Dfg.dst > i))
+              (Dfg.succs_list g i)
+          done)
         b.Isched_perfect.Suite.loops)
     (Isched_perfect.Suite.all ())
 

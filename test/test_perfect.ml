@@ -161,6 +161,53 @@ let test_category_coverage () =
     (Suite.all ());
   Alcotest.(check bool) "at least 4 categories" true (Hashtbl.length seen >= 4)
 
+let test_scaled_stream_deterministic () =
+  (* The --scale N stream is pure: the same chunk descriptor always
+     materializes the same loops, and the chunk boundaries tile the
+     stream without overlap or gap. *)
+  let p = Profile.qcd in
+  let chunks = Suite.chunks ~chunk_size:16 ~scale:3 p in
+  let a = List.concat_map Suite.chunk_loops chunks in
+  let b = List.concat_map Suite.chunk_loops chunks in
+  check Alcotest.int "same loop count" (List.length a) (List.length b);
+  List.iter2
+    (fun (la : Ast.loop) (lb : Ast.loop) ->
+      check Alcotest.string "identical loops" (Ast.loop_to_string la) (Ast.loop_to_string lb))
+    a b;
+  (* Different chunking, same stream. *)
+  let c = List.concat_map Suite.chunk_loops (Suite.chunks ~chunk_size:64 ~scale:3 p) in
+  check Alcotest.int "chunking-independent count" (List.length a) (List.length c);
+  List.iter2
+    (fun (la : Ast.loop) (lc : Ast.loop) ->
+      check Alcotest.string "chunking-independent loops" (Ast.loop_to_string la)
+        (Ast.loop_to_string lc))
+    a c
+
+let test_scaled_tables_jobs_invariant () =
+  (* scaled_tables must render byte-identically whatever the worker
+     count or chunk size: summaries are associative integer sums. *)
+  let module Report = Isched_harness.Report in
+  let module Table = Isched_util.Table in
+  let module Machine = Isched_ir.Machine in
+  let profiles = [ Profile.flq52; Profile.qcd ] in
+  let configs =
+    List.filteri (fun i _ -> i < 2) Machine.paper_configs
+  in
+  let render (t1, ms, cats) =
+    ( Table.render t1,
+      List.map
+        (fun (m : Report.measurement) -> (m.benchmark, m.config, m.t_list, m.t_new))
+        ms,
+      Table.render cats )
+  in
+  let one = render (Report.scaled_tables ~jobs:1 ~scale:2 profiles configs) in
+  let four = render (Report.scaled_tables ~jobs:4 ~scale:2 profiles configs) in
+  let rechunked =
+    render (Report.scaled_tables ~jobs:4 ~chunk_size:7 ~scale:2 profiles configs)
+  in
+  check Alcotest.bool "jobs=1 = jobs=4" true (one = four);
+  check Alcotest.bool "chunk size irrelevant" true (one = rechunked)
+
 let suite =
   [
     ("profiles: five, in paper order", `Quick, test_profiles_complete);
@@ -175,4 +222,6 @@ let suite =
     ("corpora: doall loops are the minority", `Quick, test_doall_fractions);
     ("qcd: tight bodies", `Quick, test_qcd_bodies_small);
     ("corpora: DOACROSS category coverage", `Quick, test_category_coverage);
+    ("scale: chunked stream deterministic", `Quick, test_scaled_stream_deterministic);
+    ("scale: tables invariant under jobs and chunking", `Quick, test_scaled_tables_jobs_invariant);
   ]

@@ -323,6 +323,30 @@ let prop_tracing_inert =
       in
       plain = traced && plain = counters_off)
 
+let prop_dfg_matches_reference =
+  qtest ~count:60 "dfg: arena CSR arcs equal the list-based reference builder" gen_loop
+    (fun l ->
+      match prepare l with
+      | Pipeline.Doall _ -> true
+      | Pipeline.Doacross { prog; graph; _ } ->
+        let check sync_arcs =
+          let g = if sync_arcs then graph else Dfg.build ~sync_arcs:false prog in
+          let succs_ref, preds_ref = Dfg.build_reference ~sync_arcs prog in
+          let n = Array.length prog.Isched_ir.Program.body in
+          g.Dfg.n = n
+          && Array.length succs_ref = n
+          &&
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            (* Arc-for-arc, including row order: the schedulers'
+               tie-breaking depends on it. *)
+            if Dfg.succs_list g i <> succs_ref.(i) then ok := false;
+            if Dfg.preds_list g i <> preds_ref.(i) then ok := false
+          done;
+          !ok
+        in
+        check true && check false)
+
 let prop_provenance_inert =
   qtest ~count:40 "observability: provenance recording never changes schedules" gen_loop_machine
     (fun (l, m) ->
@@ -371,5 +395,6 @@ let suite =
     prop_stress_large;
     prop_all_schedulers_correct;
     prop_tracing_inert;
+    prop_dfg_matches_reference;
     prop_provenance_inert;
   ]

@@ -294,6 +294,34 @@ let test_gate_stages_partition_baselines () =
   check Alcotest.int "stage-filtered run has no full-run baseline" 0 c.Bench_gate.baseline_runs;
   check Alcotest.bool "passes" true (Bench_gate.ok c)
 
+let test_gate_scale_partitions_baselines () =
+  (* A --scale 100 run must not be judged against scale-1 baselines (or
+     vice versa): the corpus is 100x the work, so cross-scale wall
+     clocks are incomparable in both directions. *)
+  let doc =
+    "{ \"runs\": [ { \"jobs\": 2, \"smoke\": true, \"scale\": 1, \"wall_clock_seconds\": 1.0 }, \
+     { \"jobs\": 2, \"smoke\": true, \"scale\": 100, \"wall_clock_seconds\": 90.0 } ] }"
+  in
+  let c = compare_doc doc in
+  check Alcotest.int "scaled run has no scale-1 baseline" 0 c.Bench_gate.baseline_runs;
+  check Alcotest.bool "passes" true (Bench_gate.ok c);
+  (* Same scale does partition together — and still catches regressions. *)
+  let doc_same =
+    "{ \"runs\": [ { \"jobs\": 2, \"smoke\": true, \"scale\": 100, \"wall_clock_seconds\": 10.0 }, \
+     { \"jobs\": 2, \"smoke\": true, \"scale\": 100, \"wall_clock_seconds\": 90.0 } ] }"
+  in
+  let c = compare_doc doc_same in
+  check Alcotest.int "same-scale baseline found" 1 c.Bench_gate.baseline_runs;
+  check Alcotest.bool "same-scale slowdown flagged" false (Bench_gate.ok c);
+  (* Records written before --scale existed mean scale 1. *)
+  let doc_legacy =
+    "{ \"runs\": [ { \"jobs\": 2, \"smoke\": true, \"wall_clock_seconds\": 1.0 }, \
+     { \"jobs\": 2, \"smoke\": true, \"scale\": 1, \"wall_clock_seconds\": 1.01 } ] }"
+  in
+  let c = compare_doc doc_legacy in
+  check Alcotest.int "legacy record is a scale-1 baseline" 1 c.Bench_gate.baseline_runs;
+  check Alcotest.bool "legacy comparison passes" true (Bench_gate.ok c)
+
 let test_rotate_history () =
   let doc = history_doc (List.init 10 (fun i -> (1.0, i))) in
   (match Bench_gate.rotate_history ~keep:3 doc with
@@ -333,5 +361,7 @@ let suite =
       test_gate_stage_floor_absorbs_timer_noise;
     Alcotest.test_case "gate partitions baselines by stages label" `Quick
       test_gate_stages_partition_baselines;
+    Alcotest.test_case "gate partitions baselines by corpus scale" `Quick
+      test_gate_scale_partitions_baselines;
     Alcotest.test_case "history rotation keeps newest" `Quick test_rotate_history;
   ]
