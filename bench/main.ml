@@ -33,6 +33,12 @@ type cli = {
   mutable bench_history : string option;
   mutable stages : string list option;  (* None = the default stages *)
   mutable scale : int;  (* corpus multiplier; > 1 streams the tables stage *)
+  mutable serve_bench : bool;  (* run the serve load generator instead *)
+  mutable requests : int;
+  mutable concurrency : int;
+  mutable serve_cache : int;
+  mutable zipf : float;
+  mutable socket : string option;  (* replay against an external daemon *)
 }
 
 let stage_names = [ "figures"; "tables"; "ablations"; "micro"; "artifacts" ]
@@ -63,7 +69,15 @@ let usage () =
     \               exit 1 on a >20% wall-clock or table_totals regression.\n\
     \               Runs no benchmarks.\n\
     \  --bench-history FILE  history file for --compare and for appending records\n\
-    \               (default: the --out path)";
+    \               (default: the --out path)\n\
+    \  --serve-bench  replay scheduling requests against the serve daemon and record\n\
+    \               p50/p99/p999 latency (cold vs warm cache) in the perf record\n\
+    \  --requests N   total requests to replay (default 100000)\n\
+    \  --concurrency N  client domains, one connection each (default 8)\n\
+    \  --serve-cache N  schedule-cache capacity of the self-hosted daemon (default 1024)\n\
+    \  --zipf S     skew of the key-popularity distribution (default 1.0)\n\
+    \  --socket PATH  replay against an already-running daemon instead of\n\
+    \               self-hosting one in-process";
   exit 2
 
 let parse_cli () =
@@ -78,6 +92,12 @@ let parse_cli () =
       bench_history = None;
       stages = None;
       scale = 1;
+      serve_bench = false;
+      requests = 100_000;
+      concurrency = 8;
+      serve_cache = 1024;
+      zipf = 1.0;
+      socket = None;
     }
   in
   let parse_stages s =
@@ -96,8 +116,26 @@ let parse_cli () =
     | "--compare" :: rest ->
       cli.compare <- true;
       go rest
+    | "--serve-bench" :: rest ->
+      cli.serve_bench <- true;
+      go rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with Some j when j >= 1 -> cli.jobs <- j | _ -> usage ());
+      go rest
+    | "--requests" :: n :: rest ->
+      (match int_of_string_opt n with Some r when r >= 1 -> cli.requests <- r | _ -> usage ());
+      go rest
+    | "--concurrency" :: n :: rest ->
+      (match int_of_string_opt n with Some c when c >= 1 -> cli.concurrency <- c | _ -> usage ());
+      go rest
+    | "--serve-cache" :: n :: rest ->
+      (match int_of_string_opt n with Some c when c >= 1 -> cli.serve_cache <- c | _ -> usage ());
+      go rest
+    | "--zipf" :: s :: rest ->
+      (match float_of_string_opt s with Some z when z >= 0. -> cli.zipf <- z | _ -> usage ());
+      go rest
+    | "--socket" :: path :: rest ->
+      cli.socket <- Some path;
       go rest
     | "--scale" :: n :: rest ->
       (match int_of_string_opt n with Some s when s >= 1 -> cli.scale <- s | _ -> usage ());
@@ -123,6 +161,16 @@ let parse_cli () =
       go ("--stages" :: String.sub arg 9 (String.length arg - 9) :: rest)
     | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--scale=" ->
       go ("--scale" :: String.sub arg 8 (String.length arg - 8) :: rest)
+    | arg :: rest when String.length arg > 11 && String.sub arg 0 11 = "--requests=" ->
+      go ("--requests" :: String.sub arg 11 (String.length arg - 11) :: rest)
+    | arg :: rest when String.length arg > 14 && String.sub arg 0 14 = "--concurrency=" ->
+      go ("--concurrency" :: String.sub arg 14 (String.length arg - 14) :: rest)
+    | arg :: rest when String.length arg > 14 && String.sub arg 0 14 = "--serve-cache=" ->
+      go ("--serve-cache" :: String.sub arg 14 (String.length arg - 14) :: rest)
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--zipf=" ->
+      go ("--zipf" :: String.sub arg 7 (String.length arg - 7) :: rest)
+    | arg :: rest when String.length arg > 9 && String.sub arg 0 9 = "--socket=" ->
+      go ("--socket" :: String.sub arg 9 (String.length arg - 9) :: rest)
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -151,9 +199,16 @@ let stage_wanted cli name =
    default changed keep matching the runs they describe. *)
 let stages_label cli =
   let canonical l = List.filter (fun n -> List.mem n l) stage_names in
-  match cli.stages with
-  | None -> String.concat "," default_stage_names
-  | Some l -> if canonical l = stage_names then "all" else String.concat "," (canonical l)
+  if cli.serve_bench then
+    (* Serve-bench runs are a different workload entirely: give them a
+       label of their own (parameterized by request count and
+       concurrency) so they only ever baseline against like runs and
+       can never stand in for a tables baseline. *)
+    Printf.sprintf "serve-r%d-c%d" cli.requests cli.concurrency
+  else
+    match cli.stages with
+    | None -> String.concat "," default_stage_names
+    | Some l -> if canonical l = stage_names then "all" else String.concat "," (canonical l)
 
 (* --- stage timing --- *)
 
@@ -197,9 +252,7 @@ let tables benches configs =
    through Report.scaled_tables so no more than a chunk of the corpus
    exists at a time. *)
 let tables_scaled ~scale ~smoke configs =
-  let profiles =
-    if smoke then [ List.hd Isched_perfect.Profile.all ] else Isched_perfect.Profile.all
-  in
+  let profiles = Suite.profiles ~smoke () in
   let t1, ms, cats = Report.scaled_tables ~scale profiles configs in
   section (Printf.sprintf "Table 1 - characteristics of the benchmark corpora (scale %d)" scale);
   Table.print t1;
@@ -308,6 +361,196 @@ let artifacts () =
   write "fig4-new-wavefront.svg" (Isched_sim.Viz.wavefront_svg ~max_iters:20 s_new);
   write "fig4-new-schedule.svg" (Isched_sim.Viz.schedule_svg s_new)
 
+(* --- the serve load generator (--serve-bench) --- *)
+
+module Serve_bench = struct
+  module Server = Isched_serve.Server
+  module Client = Isched_serve.Client
+  module Protocol = Isched_serve.Protocol
+  module Prng = Isched_util.Prng
+  module Counters = Isched_obs.Counters
+
+  (* Client-side latency histograms (log2 of nanoseconds, so the whole
+     ns..minutes range fits the 0..63 buckets); the exact p50/p99/p999
+     the record carries come from the raw per-domain sample arrays. *)
+  let d_hit_latency = Counters.dist "serve.bench.hit_latency_log2ns"
+
+  let d_miss_latency = Counters.dist "serve.bench.miss_latency_log2ns"
+
+  let log2i n =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+    if n <= 0 then 0 else go 0 n
+
+  (* Zipf-skewed key popularity: rank r (0-based) drawn with probability
+     proportional to 1/(r+1)^theta; theta 0 is uniform.  Precomputed CDF
+     + binary search keeps the draw O(log n) off the request path. *)
+  let zipf_cdf ~theta n =
+    let c = Array.make n 0. in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. (1. /. (float_of_int (i + 1) ** theta));
+      c.(i) <- !acc
+    done;
+    c
+
+  let pick rng cdf =
+    let n = Array.length cdf in
+    let u = Prng.float rng *. cdf.(n - 1) in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  (* Nearest-rank percentile of an ascending array. *)
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
+  (* The canonical response encoding starts with a fixed envelope, so
+     the load generator classifies hit/miss with a prefix check instead
+     of parsing 400-byte JSON bodies off the timed path (the protocol
+     suite pins the encoding these prefixes assume). *)
+  let hit_prefix = "{\"status\": \"ok\", \"op\": \"schedule\", \"cache\": \"hit\""
+
+  let miss_prefix = "{\"status\": \"ok\", \"op\": \"schedule\", \"cache\": \"miss\""
+
+  (* One client domain: one connection, [quota] requests drawn from the
+     shared popularity distribution with a private PRNG stream. *)
+  let worker ~socket ~names ~cdf ~seed ~quota =
+    let rng = Prng.create seed in
+    let lat = Array.make quota nan in
+    let hits = Array.make quota false in
+    let errors = ref 0 in
+    Client.with_connection socket (fun c ->
+        for i = 0 to quota - 1 do
+          let name = names.(pick rng cdf) in
+          let req = Protocol.schedule_request (Protocol.Corpus_loop name) in
+          let t0 = Unix.gettimeofday () in
+          match Client.request_raw c req with
+          | Ok payload
+            when String.starts_with ~prefix:hit_prefix payload
+                 || String.starts_with ~prefix:miss_prefix payload ->
+            let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+            let cache_hit = String.starts_with ~prefix:hit_prefix payload in
+            lat.(i) <- ns;
+            hits.(i) <- cache_hit;
+            Counters.observe
+              (if cache_hit then d_hit_latency else d_miss_latency)
+              (log2i (int_of_float ns))
+          | Ok _ | Error _ -> incr errors
+        done);
+    (lat, hits, !errors)
+
+  let summarize name sorted =
+    if Array.length sorted = 0 then
+      Printf.printf "  %-10s (no samples)\n" name
+    else
+      Printf.printf "  %-10s n=%-8d p50=%8.1fus  p99=%8.1fus  p999=%8.1fus\n" name
+        (Array.length sorted)
+        (percentile sorted 0.50 /. 1e3)
+        (percentile sorted 0.99 /. 1e3)
+        (percentile sorted 0.999 /. 1e3)
+
+  let pcts_json sorted =
+    Printf.sprintf
+      "{ \"count\": %d, \"p50_ns\": %.0f, \"p99_ns\": %.0f, \"p999_ns\": %.0f }"
+      (Array.length sorted) (percentile sorted 0.50) (percentile sorted 0.99)
+      (percentile sorted 0.999)
+
+  (* Returns the JSON fragment recorded under "serve" in the perf
+     record. *)
+  let run cli =
+    section "Scheduling service - load generator";
+    let names =
+      Array.of_list
+        (List.map
+           (fun (l : Isched_frontend.Ast.loop) -> l.Isched_frontend.Ast.name)
+           (Suite.all_loops ~smoke:cli.smoke ()))
+    in
+    let cdf = zipf_cdf ~theta:cli.zipf (Array.length names) in
+    let self_host = cli.socket = None in
+    let socket =
+      match cli.socket with
+      | Some p -> p
+      | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ischedc-serve-bench-%d.sock" (Unix.getpid ()))
+    in
+    let server =
+      if not self_host then None
+      else begin
+        let config =
+          {
+            (Server.default_config ~socket_path:socket) with
+            Server.cache_capacity = cli.serve_cache;
+            workers = max 2 (min cli.concurrency 8);
+            queue_capacity = max 64 cli.concurrency;
+          }
+        in
+        let server = Server.create config in
+        let ready = Atomic.make false in
+        let d = Domain.spawn (fun () -> Server.run ~on_ready:(fun () -> Atomic.set ready true) server) in
+        while not (Atomic.get ready) do
+          Unix.sleepf 0.005
+        done;
+        Some (server, d)
+      end
+    in
+    Printf.printf "%d requests, %d clients, %d corpus keys, zipf %.2f, cache %d (%s)\n%!"
+      cli.requests cli.concurrency (Array.length names) cli.zipf cli.serve_cache
+      (if self_host then "self-hosted daemon" else "external daemon at " ^ socket);
+    let quota = cli.requests / cli.concurrency in
+    let extra = cli.requests - (quota * cli.concurrency) in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init cli.concurrency (fun i ->
+          let q = quota + if i < extra then 1 else 0 in
+          Domain.spawn (fun () -> worker ~socket ~names ~cdf ~seed:(0x5eed0000 + i) ~quota:q))
+    in
+    let results = List.map Domain.join domains in
+    let wall = Unix.gettimeofday () -. t0 in
+    (match server with
+    | None -> ()
+    | Some (s, d) ->
+      Server.stop s;
+      Domain.join d);
+    let errors = List.fold_left (fun a (_, _, e) -> a + e) 0 results in
+    let collect want =
+      let out = ref [] in
+      List.iter
+        (fun (lat, hits, _) ->
+          Array.iteri
+            (fun i ns -> if (not (Float.is_nan ns)) && want hits.(i) then out := ns :: !out)
+            lat)
+        results;
+      let a = Array.of_list !out in
+      Array.sort compare a;
+      a
+    in
+    let all = collect (fun _ -> true) in
+    let hit = collect (fun h -> h) in
+    let miss = collect (fun h -> not h) in
+    Printf.printf "replayed %d requests in %.2f s (%.0f req/s), %d error(s)\n" cli.requests wall
+      (float_of_int cli.requests /. wall)
+      errors;
+    summarize "all" all;
+    summarize "warm(hit)" hit;
+    summarize "cold(miss)" miss;
+    if Array.length hit > 0 && Array.length miss > 0 then
+      Printf.printf "  warm-cache p50 is %.1fx below the cold-path p50\n"
+        (percentile miss 0.50 /. Float.max 1. (percentile hit 0.50));
+    Printf.sprintf
+      "{ \"requests\": %d, \"concurrency\": %d, \"cache_capacity\": %d, \"zipf\": %.3f, \
+       \"wall_clock_seconds\": %.3f, \"throughput_rps\": %.1f, \"errors\": %d, \"latency\": { \
+       \"all\": %s, \"hit\": %s, \"miss\": %s } }"
+      cli.requests cli.concurrency cli.serve_cache cli.zipf wall
+      (float_of_int cli.requests /. wall)
+      errors (pcts_json all) (pcts_json hit) (pcts_json miss)
+end
+
 (* --- machine-readable perf record --- *)
 
 let git_rev () =
@@ -373,7 +616,7 @@ let previous_runs path =
       | _ -> None
     with Sys_error _ | End_of_file -> None
 
-let emit_record ~path ~cli ~total (ms : Report.measurement list) =
+let emit_record ~path ~cli ~total ?serve (ms : Report.measurement list) =
   let b = Buffer.create 1024 in
   let configs =
     List.fold_left (fun acc m -> if List.mem m.Report.config acc then acc else acc @ [ m.Report.config ]) [] ms
@@ -408,6 +651,9 @@ let emit_record ~path ~cli ~total (ms : Report.measurement list) =
            (json_escape c) tl tn))
     configs;
   Buffer.add_string b " },\n";
+  (match serve with
+  | None -> ()
+  | Some s -> Buffer.add_string b (Printf.sprintf "      \"serve\": %s,\n" s));
   (* Full counter snapshot (see doc/observability.md for the schema):
      scheduler runs, pool utilisation, first_fit probe lengths, timing
      fast-path hits... so every future perf PR has a machine-readable
@@ -464,18 +710,19 @@ let () =
       match Machine.paper_configs with a :: b :: _ -> [ a; b ] | short -> short
     else Machine.paper_configs
   in
+  let serve_json = ref None in
   let ms =
-    if cli.scale > 1 then
+    if cli.serve_bench then begin
+      serve_json := Some (timed "serve" (fun () -> Serve_bench.run cli));
+      []
+    end
+    else if cli.scale > 1 then
       (* Streamed: the corpus is never materialized, so there is no
          load-corpora stage and only tables can run (enforced at CLI
          parse time). *)
       timed "tables" (fun () -> tables_scaled ~scale:cli.scale ~smoke:cli.smoke configs)
     else begin
-      let benches =
-        timed "load-corpora" (fun () ->
-            if cli.smoke then [ Suite.load (List.hd Isched_perfect.Profile.all) ]
-            else Suite.all ())
-      in
+      let benches = timed "load-corpora" (fun () -> Suite.corpora ~smoke:cli.smoke ()) in
       if (not cli.smoke) && stage_wanted cli "figures" then timed "figures" fig_1_to_4;
       let ms =
         if stage_wanted cli "tables" then timed "tables" (fun () -> tables benches configs)
@@ -490,7 +737,7 @@ let () =
     end
   in
   let total = Unix.gettimeofday () -. t0 in
-  emit_record ~path:(history_path cli) ~cli ~total ms;
+  emit_record ~path:(history_path cli) ~cli ~total ?serve:!serve_json ms;
   (match cli.trace with
   | None -> ()
   | Some path ->

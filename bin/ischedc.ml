@@ -8,7 +8,8 @@
      sched    - schedule with both schedulers and report times
      sim      - run the value-accurate simulation and the stale check
      example  - the paper's Figs. 1-4 worked example
-     tables   - regenerate the paper's tables over the surrogate corpora *)
+     tables   - regenerate the paper's tables over the surrogate corpora
+     serve    - scheduling-as-a-service daemon over a Unix socket *)
 
 open Cmdliner
 
@@ -415,11 +416,7 @@ let check_cmd =
     let loops =
       (match file with Some f -> load_loops f | None -> [])
       @
-      if corpus then
-        List.concat_map
-          (fun (b : Isched_perfect.Suite.benchmark) -> b.Isched_perfect.Suite.loops)
-          (Isched_perfect.Suite.all ())
-      else []
+      if corpus then Isched_perfect.Suite.all_loops () else []
     in
     if loops = [] then begin
       prerr_endline "ischedc check: nothing to check (give FILE and/or --corpus)";
@@ -532,6 +529,71 @@ let explain_cmd =
           sync-arcs).")
     Term.(const run $ obs_term $ file_arg $ machine_term $ scheduler_arg $ fmt $ pair)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let module Server = Isched_serve.Server in
+  let run () socket workers queue_capacity cache_capacity cache_stripes validate =
+    let config =
+      {
+        Server.socket_path = socket;
+        workers;
+        queue_capacity;
+        cache_capacity;
+        cache_stripes;
+        validate;
+      }
+    in
+    let server =
+      try Server.create config
+      with Invalid_argument m ->
+        prerr_endline ("ischedc serve: " ^ m);
+        exit 2
+    in
+    Server.install_signal_handlers server;
+    Server.run
+      ~on_ready:(fun () ->
+        Printf.printf "ischedc serve: listening on %s (%d workers, cache %d)\n%!" socket workers
+          cache_capacity)
+      server;
+    Printf.printf "ischedc serve: drained after %d request(s)\n%!" (Server.requests_served server)
+  in
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path to listen on (created, replacing a stale one; removed \
+                 on shutdown).")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (default 4).")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Accepted connections allowed to wait for a worker; beyond it new connections \
+                 get a structured overloaded error instead of buffering without bound \
+                 (default 64).")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 1024 & info [ "cache" ] ~docv:"N"
+           ~doc:"Schedule cache capacity in entries, LRU-evicted (default 1024).")
+  in
+  let cache_stripes =
+    Arg.(value & opt int 16 & info [ "cache-stripes" ] ~docv:"N"
+           ~doc:"Lock stripes of the schedule cache (default 16).")
+  in
+  let validate =
+    Arg.(value & flag & info [ "validate" ]
+           ~doc:"Re-check every served schedule (cache hits included) with the independent \
+                 static analyzer before answering; a failing entry is evicted and reported, \
+                 never served.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the scheduling service: a daemon answering length-prefixed JSON requests \
+             (schedule source text or named corpus loops, stats, ping) over a Unix-domain \
+             socket, with a digest-keyed LRU schedule cache, bounded-queue backpressure and \
+             graceful SIGTERM drain.  Protocol: doc/serving.md.")
+    Term.(const run $ obs_term $ socket $ workers $ queue $ cache_capacity $ cache_stripes $ validate)
+
 (* --- example --- *)
 
 let example_cmd =
@@ -581,5 +643,5 @@ let () =
        (Cmd.group ~default info
           [
             compile_cmd; deps_cmd; dfg_cmd; sched_cmd; sim_cmd; check_cmd; asm_cmd; viz_cmd;
-            explain_cmd; example_cmd; tables_cmd;
+            explain_cmd; example_cmd; tables_cmd; serve_cmd;
           ]))

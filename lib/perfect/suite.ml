@@ -117,6 +117,35 @@ let load ?(scale = 1) (p : Profile.t) =
 
 let all () = List.map (fun p -> load p) Profile.all
 
+(* --- corpus enumeration --- *)
+
+let profiles ?(smoke = false) () = if smoke then [ List.hd Profile.all ] else Profile.all
+
+let corpora ?smoke () = List.map (fun p -> load p) (profiles ?smoke ())
+
+let all_loops ?smoke () = List.concat_map (fun b -> b.loops) (corpora ?smoke ())
+
+(* Name index for [find_loop]: built once under a lock on first use.
+   The full unscaled corpus is small (the bench harness materializes it
+   wholesale anyway), so retaining it here is cheap, and the serving
+   path needs lookups to cost a hash probe, not a corpus walk. *)
+let index_lock = Mutex.create ()
+
+let index : (string, Ast.loop) Hashtbl.t option ref = ref None
+
+let find_loop name =
+  let tbl =
+    Mutex.protect index_lock (fun () ->
+        match !index with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Hashtbl.create 256 in
+          List.iter (fun (l : Ast.loop) -> Hashtbl.replace tbl l.Ast.name l) (all_loops ());
+          index := Some tbl;
+          tbl)
+  in
+  Hashtbl.find_opt tbl name
+
 (* --- streaming --- *)
 
 type chunk = { profile : Profile.t; lo : int; hi : int; with_signature : bool }

@@ -18,6 +18,34 @@ val load : ?scale:int -> Profile.t -> benchmark
     (FLQ52, QCD, MDG, TRACK, ADM). *)
 val all : unit -> benchmark list
 
+(** {2 Corpus enumeration}
+
+    The one place that knows how a "corpus walk" is spelled: the CLI
+    ([ischedc check --corpus], [ischedc serve]), the bench harness and
+    the serve load generator all enumerate through these, so they can
+    never disagree about which loops the corpus contains (pinned by a
+    regression test). *)
+
+(** [profiles ~smoke ()] — the profile list a corpus walk covers:
+    all five, or only the first (FLQ52) when [smoke] (default
+    [false]). *)
+val profiles : ?smoke:bool -> unit -> Profile.t list
+
+(** [corpora ~smoke ()] — [load] over [profiles ~smoke ()]. *)
+val corpora : ?smoke:bool -> unit -> benchmark list
+
+(** [all_loops ~smoke ()] — every loop of [corpora ~smoke ()],
+    flattened in paper order (signature loops before generated ones
+    within each corpus). *)
+val all_loops : ?smoke:bool -> unit -> Ast.loop list
+
+(** [find_loop name] — the corpus loop called [name] (e.g. ["QCD.L1"]
+    for a signature loop, ["FLQ52.G3"] for a generated one).  Names are
+    unique across the five corpora.  The index over the full unscaled
+    corpus is built lazily on first use and retained; safe to call from
+    several domains. *)
+val find_loop : string -> Ast.loop option
+
 (** A bounded slice of one benchmark's loop stream: generated-loop
     indices [lo, hi), plus the hand-written signature loops when
     [with_signature] (true only for the first chunk).  Chunks are

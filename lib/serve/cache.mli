@@ -1,0 +1,59 @@
+(** Bounded, striped, digest-keyed result cache for the scheduling
+    service.
+
+    Like the {!Isched_harness.Pipeline} prepare memo, the cache is
+    striped: [stripes] independent (mutex, LRU list) pairs indexed by
+    the key's hash, so concurrent requests for different keys take
+    different locks.  Unlike the memo it is bounded: the total capacity
+    is split evenly across stripes and each stripe evicts its
+    least-recently-used ready entry when its share is exceeded.
+
+    Lookups are compute-coalescing: when several domains ask for the
+    same absent key at once, exactly one runs the compute function and
+    the rest block until the value is ready (the "exactly-once compute
+    per digest" guarantee the test suite hammers).  If the compute
+    function raises, the placeholder is removed, the waiters retry (one
+    of them becomes the new computer) and the exception propagates to
+    the original caller.
+
+    Counters: [serve.cache.hit], [serve.cache.miss],
+    [serve.cache.evict], [serve.cache.coalesced] (lookups that waited
+    on another domain's in-flight compute). *)
+
+type ('k, 'v) t
+
+(** [create ?stripes ~capacity ~hash ~equal ()] — [capacity] (>= 1) is
+    the total bound; [stripes] (default 16) must divide the work of
+    [hash] evenly for balance but any positive count is legal (tests
+    use 1 stripe for exact global LRU order).  Each stripe holds at
+    most [ceil (capacity / stripes)] (minimum 1) ready entries. *)
+val create :
+  ?stripes:int -> capacity:int -> hash:('k -> int) -> equal:('k -> 'k -> bool) -> unit ->
+  ('k, 'v) t
+
+(** [find_or_compute c k f] — [(v, hit)] where [hit] says the value was
+    already cached (including the coalesced-wait case).  [f] runs
+    without any cache lock held. *)
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v * bool
+
+(** [find c k] — a plain probe, counting and touching like a hit;
+    [None] also when the key is currently being computed. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [remove c k] — drop the entry if present and ready (an in-flight
+    compute is left to finish; its insertion then stands). *)
+val remove : ('k, 'v) t -> 'k -> unit
+
+(** [iter c f] — every ready entry, stripe by stripe, under each
+    stripe's lock; [f] must not call back into the cache.  Order within
+    a stripe is most-recently-used first.  (The fault-injection test
+    uses this to corrupt a cached schedule in place.) *)
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+
+(** [length c] — ready entries across all stripes. *)
+val length : ('k, 'v) t -> int
+
+val capacity : ('k, 'v) t -> int
+
+(** [clear c] drops every ready entry (in-flight computes survive). *)
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,49 @@
+type t = { fd : Unix.file_descr; reader : Protocol.reader; mutable closed : bool }
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; reader = Protocol.reader fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let request_raw t req =
+  if t.closed then Error "client: connection closed"
+  else
+    match Protocol.write_frame t.fd (Protocol.encode_request req) with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "client: send failed: %s" (Unix.error_message e))
+    | () -> (
+      match Protocol.read_frame_buffered t.reader with
+      | Protocol.Frame payload -> Ok payload
+      | Protocol.Eof -> Error "client: server closed the connection"
+      | Protocol.Truncated -> Error "client: truncated response frame"
+      | Protocol.Oversized len -> Error (Printf.sprintf "client: oversized response frame (%d bytes)" len)
+      | Protocol.Stopped -> Error "client: interrupted"
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "client: receive failed: %s" (Unix.error_message e)))
+
+let request t req =
+  match request_raw t req with
+  | Error _ as e -> e
+  | Ok payload -> (
+    match Protocol.decode_response payload with
+    | Ok resp -> Ok resp
+    | Error (code, msg) ->
+      Error
+        (Printf.sprintf "client: undecodable response (%s): %s" (Protocol.error_code_name code)
+           msg))
+
+let request_exn t req =
+  match request t req with Ok r -> r | Error msg -> failwith msg
+
+let with_connection path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,444 @@
+module Ast = Isched_frontend.Ast
+module Parser = Isched_frontend.Parser
+module Lexer = Isched_frontend.Lexer
+module Sema = Isched_frontend.Sema
+module Machine = Isched_ir.Machine
+module Schedule = Isched_core.Schedule
+module Lbd_model = Isched_core.Lbd_model
+module Pipeline = Isched_harness.Pipeline
+module Json = Isched_obs.Json
+module Counters = Isched_obs.Counters
+
+let c_requests = Counters.counter "serve.requests"
+let c_errors = Counters.counter "serve.errors"
+let c_overloaded = Counters.counter "serve.overloaded"
+let c_connections = Counters.counter "serve.connections"
+let d_queue_depth = Counters.dist "serve.queue_depth"
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  cache_stripes : int;
+  validate : bool;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = 4;
+    queue_capacity = 64;
+    cache_capacity = 1024;
+    cache_stripes = 16;
+    validate = false;
+  }
+
+(* --- the schedule cache --- *)
+
+(* One cache entry per (loop, machine, scheduler, trip-count override):
+   everything the pipeline's answer depends on.  The loop's structural
+   digest (computed once at construction, see Ast.make_loop) carries the
+   hash; equality pre-filters on it before the full structural compare,
+   exactly like the prepare memo's key. *)
+type sched_key = {
+  k_digest : int;
+  k_loop : Ast.loop;
+  k_scheduler : Protocol.scheduler;
+  k_issue : int;
+  k_nfu : int;
+  k_n_iters : int option;
+}
+
+let key_hash k = k.k_digest lxor Hashtbl.hash (k.k_scheduler, k.k_issue, k.k_nfu, k.k_n_iters)
+
+let key_equal a b =
+  a.k_scheduler = b.k_scheduler && a.k_issue = b.k_issue && a.k_nfu = b.k_nfu
+  && a.k_n_iters = b.k_n_iters
+  && (a.k_loop == b.k_loop || (a.k_digest = b.k_digest && a.k_loop = b.k_loop))
+
+(* The cached value keeps three forms of the answer: the structured
+   reply (for explain requests, which re-attach a payload), its
+   canonical rendering (the warm path splices these strings straight
+   into the response envelope without rebuilding any JSON), and the
+   schedule itself so [--validate] can re-check what is about to be
+   served — including an entry that was corrupted after insertion. *)
+type cached = {
+  reply : Protocol.loop_reply;
+  rendered : string;
+  schedule : Schedule.t option;
+}
+
+type t = {
+  config : config;
+  cache : (sched_key, cached) Cache.t;
+  explain_lock : Mutex.t;
+      (* Explain.build records provenance through a process-global ring;
+         one explain at a time keeps traces attributable. *)
+  requests : int Atomic.t;
+  stop_flag : bool Atomic.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  queue : Unix.file_descr Queue.t;
+}
+
+let create config =
+  if config.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  if config.queue_capacity < 0 then invalid_arg "Server.create: queue_capacity must be >= 0";
+  {
+    config;
+    cache =
+      Cache.create ~stripes:config.cache_stripes ~capacity:config.cache_capacity ~hash:key_hash
+        ~equal:key_equal ();
+    explain_lock = Mutex.create ();
+    requests = Atomic.make 0;
+    stop_flag = Atomic.make false;
+    qlock = Mutex.create ();
+    qcond = Condition.create ();
+    queue = Queue.create ();
+  }
+
+let config t = t.config
+
+let requests_served t = Atomic.get t.requests
+
+let cache_length t = Cache.length t.cache
+
+let corrupt_cached_schedules t =
+  let n = ref 0 in
+  Cache.iter t.cache (fun _ c ->
+      match c.schedule with
+      | None -> ()
+      | Some s ->
+        incr n;
+        Array.fill s.Schedule.cycle_of 0 (Array.length s.Schedule.cycle_of) 0);
+  !n
+
+(* --- request handling --- *)
+
+let pipeline_scheduler = function
+  | Protocol.Sched_list -> Pipeline.List_scheduling
+  | Protocol.Sched_marker -> Pipeline.Marker_scheduling
+  | Protocol.Sched_new -> Pipeline.New_scheduling
+
+let compute_loop ~options ~machine ~which (l : Ast.loop) : cached =
+  let reply, schedule =
+    match Pipeline.prepare_uncached options l with
+    | Pipeline.Doall _ ->
+      ( {
+          Protocol.loop_name = l.Ast.name;
+          doall = true;
+          cycles_per_iteration = 0;
+          lbd_pairs = 0;
+          parallel_time = 0;
+          analytic_time = 0;
+          rows = [||];
+          explain_payload = None;
+        },
+        None )
+    | Pipeline.Doacross _ as p ->
+      let s = Pipeline.schedule ~options p machine which in
+      let timing = Isched_sim.Timing.run s in
+      ( {
+          Protocol.loop_name = l.Ast.name;
+          doall = false;
+          cycles_per_iteration = s.Schedule.length;
+          lbd_pairs = Lbd_model.n_lbd s;
+          parallel_time = timing.Isched_sim.Timing.finish;
+          analytic_time = Lbd_model.exact_time s;
+          rows = s.Schedule.rows;
+          explain_payload = None;
+        },
+        Some s )
+  in
+  { reply; rendered = Protocol.render_loop_reply reply; schedule }
+
+let resolve_loops source =
+  match source with
+  | Protocol.Corpus_loop name -> (
+    match Isched_perfect.Suite.find_loop name with
+    | Some l -> Ok [ l ]
+    | None -> Error (Protocol.Unknown_loop, Printf.sprintf "no corpus loop named %S" name))
+  | Protocol.Text src -> (
+    try
+      let loops = Parser.parse ~name:"request" src in
+      List.iter Sema.check_exn loops;
+      match loops with
+      | [] -> Error (Protocol.Source_error, "source contains no loops")
+      | _ -> Ok loops
+    with
+    | Parser.Error { line; col; message } ->
+      Error (Protocol.Source_error, Printf.sprintf "parse error at %d:%d: %s" line col message)
+    | Lexer.Error { line; col; message } ->
+      Error (Protocol.Source_error, Printf.sprintf "lex error at %d:%d: %s" line col message)
+    | Invalid_argument m -> Error (Protocol.Source_error, m))
+
+let explain_payload t ~options ~which (l : Ast.loop) machine =
+  Mutex.protect t.explain_lock (fun () ->
+      match Isched_harness.Explain.build ~options ~which l machine with
+      | Error _ -> None
+      | Ok ex -> (
+        match Json.parse (Isched_harness.Explain.render_json ex) with
+        | Ok v -> Some v
+        | Error _ -> None))
+
+(* A handler outcome: a structured response, or an already-encoded
+   payload (the warm path, which splices cached renderings). *)
+type outcome = Response of Protocol.response | Encoded of string
+
+let handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~explain =
+  let machine = Machine.make ~issue ~nfu () in
+  match Machine.validate machine with
+  | exception Invalid_argument m ->
+    Response (Protocol.Error { code = Protocol.Bad_request; message = m })
+  | () -> (
+    match resolve_loops source with
+    | Error (code, message) -> Response (Protocol.Error { code; message })
+    | Ok loops -> (
+      let options = { Pipeline.default_options with n_iters } in
+      let which = pipeline_scheduler scheduler in
+      let served =
+        List.map
+          (fun (l : Ast.loop) ->
+            let key =
+              {
+                k_digest = l.Ast.digest;
+                k_loop = l;
+                k_scheduler = scheduler;
+                k_issue = issue;
+                k_nfu = nfu;
+                k_n_iters = n_iters;
+              }
+            in
+            let cached, hit =
+              Cache.find_or_compute t.cache key (fun () -> compute_loop ~options ~machine ~which l)
+            in
+            (key, l, cached, hit))
+          loops
+      in
+      (* Under --validate every response — cache hit or fresh — is
+         re-derived through the independent static analyzer before it
+         leaves the process.  A failing entry is evicted (the next
+         request recomputes it) and reported, never served. *)
+      let invalid =
+        if not t.config.validate then None
+        else
+          List.find_map
+            (fun (key, l, c, _) ->
+              match c.schedule with
+              | None -> None
+              | Some s -> (
+                match Isched_check.Static.check s with
+                | Ok () -> None
+                | Error vs ->
+                  Cache.remove t.cache key;
+                  Some
+                    (Printf.sprintf "loop %s: %s" l.Ast.name
+                       (Isched_check.Static.errors_to_string l.Ast.name vs))))
+            served
+      in
+      match invalid with
+      | Some diagnostics ->
+        Response (Protocol.Error { code = Protocol.Invalid_schedule; message = diagnostics })
+      | None ->
+        let cache_hit = List.for_all (fun (_, _, _, hit) -> hit) served in
+        if explain then
+          let loops_replies =
+            List.map
+              (fun (_, l, c, _) ->
+                if c.reply.Protocol.doall then c.reply
+                else
+                  {
+                    c.reply with
+                    Protocol.explain_payload = explain_payload t ~options ~which l machine;
+                  })
+              served
+          in
+          Response (Protocol.Scheduled { cache_hit; loops = loops_replies })
+        else
+          (* The warm path: the cached entries carry their canonical
+             rendering, so the response is string splicing — no JSON
+             tree is rebuilt per request. *)
+          Encoded
+            (Protocol.encode_scheduled ~cache_hit
+               (List.map (fun (_, _, c, _) -> c.rendered) served))))
+
+let handle_inner t = function
+  | Protocol.Ping -> Response Protocol.Pong
+  | Protocol.Stats ->
+    let counters =
+      match Json.parse (Counters.to_json ()) with Ok v -> v | Error _ -> Json.Null
+    in
+    let num i = Json.Num (float_of_int i) in
+    Response
+      (Protocol.Stats_reply
+         (Json.Obj
+            [
+              ("requests", num (Atomic.get t.requests));
+              ( "cache",
+                Json.Obj
+                  [
+                    ("entries", num (Cache.length t.cache));
+                    ("capacity", num (Cache.capacity t.cache));
+                  ] );
+              ("counters", counters);
+            ]))
+  | Protocol.Schedule { source; scheduler; issue; nfu; n_iters; explain } ->
+    handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~explain
+
+let handle_outcome t req =
+  let out =
+    try handle_inner t req
+    with e ->
+      Response (Protocol.Error { code = Protocol.Internal; message = Printexc.to_string e })
+  in
+  Atomic.incr t.requests;
+  Counters.incr c_requests;
+  (match out with Response (Protocol.Error _) -> Counters.incr c_errors | _ -> ());
+  out
+
+let handle t req =
+  match handle_outcome t req with
+  | Response r -> r
+  | Encoded s -> (
+    (* [Encoded] is the canonical encoding of a response, so decoding
+       it back is lossless; only this structured entry point (tests,
+       non-socket callers) pays for the parse. *)
+    match Protocol.decode_response s with
+    | Ok r -> r
+    | Error (_, m) -> Protocol.Error { code = Protocol.Internal; message = m })
+
+(* --- the daemon --- *)
+
+let send_payload fd payload =
+  match Protocol.write_frame fd payload with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+  | exception Invalid_argument _ ->
+    (* The encoded response exceeded the frame bound (a pathological
+       explain payload): degrade to a structured error. *)
+    (try
+       Protocol.write_frame fd
+         (Protocol.encode_response
+            (Protocol.Error
+               { code = Protocol.Internal; message = "response exceeds the frame bound" }));
+       true
+     with Unix.Unix_error _ -> false)
+
+let send_response fd resp = send_payload fd (Protocol.encode_response resp)
+
+let serve_conn t fd =
+  let stop () = Atomic.get t.stop_flag in
+  let reader = Protocol.reader fd in
+  let rec loop () =
+    match Protocol.read_frame_buffered ~stop reader with
+    | Protocol.Eof | Protocol.Truncated | Protocol.Stopped -> ()
+    | Protocol.Oversized len ->
+      (* The stream position is unknowable past an oversized header:
+         answer, then close. *)
+      Counters.incr c_errors;
+      ignore
+        (send_response fd
+           (Protocol.Error
+              {
+                code = Protocol.Oversized_frame;
+                message =
+                  Printf.sprintf "frame of %d bytes exceeds the %d-byte bound" len
+                    Protocol.max_frame;
+              }))
+    | Protocol.Frame payload ->
+      let out =
+        match Protocol.decode_request payload with
+        | Ok req -> (
+          match handle_outcome t req with
+          | Encoded s -> s
+          | Response r -> Protocol.encode_response r)
+        | Error (code, message) ->
+          Atomic.incr t.requests;
+          Counters.incr c_requests;
+          Counters.incr c_errors;
+          Protocol.encode_response (Protocol.Error { code; message })
+      in
+      if send_payload fd out then loop ()
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec worker_loop t =
+  let job =
+    Mutex.protect t.qlock (fun () ->
+        let rec get () =
+          if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+          else if Atomic.get t.stop_flag then None
+          else begin
+            Condition.wait t.qcond t.qlock;
+            get ()
+          end
+        in
+        get ())
+  in
+  match job with
+  | None -> ()
+  | Some fd ->
+    serve_conn t fd;
+    worker_loop t
+
+let reject_overloaded fd =
+  Counters.incr c_overloaded;
+  ignore
+    (send_response fd
+       (Protocol.Error
+          { code = Protocol.Overloaded; message = "accept queue saturated; retry later" }));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec accept_loop t lfd =
+  if not (Atomic.get t.stop_flag) then begin
+    (match Unix.select [ lfd ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept ~cloexec:true lfd with
+      | fd, _ ->
+        Counters.incr c_connections;
+        let enqueued =
+          Mutex.protect t.qlock (fun () ->
+              if Queue.length t.queue >= t.config.queue_capacity then false
+              else begin
+                Queue.push fd t.queue;
+                Counters.observe d_queue_depth (Queue.length t.queue);
+                Condition.signal t.qcond;
+                true
+              end)
+        in
+        if not enqueued then reject_overloaded fd
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    accept_loop t lfd
+  end
+
+let stop t = Atomic.set t.stop_flag true
+
+let install_signal_handlers t =
+  let h = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigterm h;
+  Sys.set_signal Sys.sigint h
+
+let run ?(on_ready = fun () -> ()) t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let path = t.config.socket_path in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let lfd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 64;
+  let workers = List.init t.config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t)) in
+  on_ready ();
+  Fun.protect
+    ~finally:(fun () ->
+      (* Graceful drain: wake every idle worker (the queued and
+         in-flight connections are still served; workers exit once the
+         queue is empty), join, then remove the socket. *)
+      Atomic.set t.stop_flag true;
+      Mutex.protect t.qlock (fun () -> Condition.broadcast t.qcond);
+      List.iter Domain.join workers;
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> accept_loop t lfd)

@@ -19,4 +19,5 @@ let () =
       ("provenance", Test_provenance.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_props.suite);
+      ("serve", Test_serve.suite);
     ]
