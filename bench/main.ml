@@ -12,6 +12,7 @@
               and a --jobs 8 run side by side show the speedup) *)
 
 module Report = Isched_harness.Report
+module Pipeline = Isched_harness.Pipeline
 module Suite = Isched_perfect.Suite
 module Machine = Isched_ir.Machine
 module Table = Isched_util.Table
@@ -33,6 +34,7 @@ type cli = {
   mutable bench_history : string option;
   mutable stages : string list option;  (* None = the default stages *)
   mutable scale : int;  (* corpus multiplier; > 1 streams the tables stage *)
+  mutable sync_elim : bool;  (* run the redundant-sync elimination pass *)
   mutable serve_bench : bool;  (* run the serve load generator instead *)
   mutable requests : int;
   mutable concurrency : int;
@@ -64,6 +66,9 @@ let usage () =
     \  --scale N    multiply the generated corpus N-fold (default 1).  N > 1 streams\n\
     \               the corpus in bounded memory and supports only the tables stage\n\
     \               (--stages tables, the default when --scale is given)\n\
+    \  --sync-elim  run the redundant-synchronization elimination pass before\n\
+    \               scheduling; records carry a distinct stages label so elim and\n\
+    \               base runs never baseline against each other\n\
     \  --compare    perf-regression gate: compare the newest recorded run against the\n\
     \               mean of prior runs at matching --jobs/--smoke/--stages/--scale;\n\
     \               exit 1 on a >20% wall-clock or table_totals regression.\n\
@@ -92,6 +97,7 @@ let parse_cli () =
       bench_history = None;
       stages = None;
       scale = 1;
+      sync_elim = false;
       serve_bench = false;
       requests = 100_000;
       concurrency = 8;
@@ -118,6 +124,9 @@ let parse_cli () =
       go rest
     | "--serve-bench" :: rest ->
       cli.serve_bench <- true;
+      go rest
+    | "--sync-elim" :: rest ->
+      cli.sync_elim <- true;
       go rest
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with Some j when j >= 1 -> cli.jobs <- j | _ -> usage ());
@@ -199,6 +208,10 @@ let stage_wanted cli name =
    default changed keep matching the runs they describe. *)
 let stages_label cli =
   let canonical l = List.filter (fun n -> List.mem n l) stage_names in
+  (* --sync-elim changes the workload (smaller programs, fewer sync
+     ops), so it gets a label suffix of its own: elimination runs only
+     ever baseline against other elimination runs. *)
+  let elim_suffix = if cli.sync_elim then "+sync-elim" else "" in
   if cli.serve_bench then
     (* Serve-bench runs are a different workload entirely: give them a
        label of their own (parameterized by request count and
@@ -206,9 +219,10 @@ let stages_label cli =
        can never stand in for a tables baseline. *)
     Printf.sprintf "serve-r%d-c%d" cli.requests cli.concurrency
   else
-    match cli.stages with
+    (match cli.stages with
     | None -> String.concat "," default_stage_names
-    | Some l -> if canonical l = stage_names then "all" else String.concat "," (canonical l)
+    | Some l -> if canonical l = stage_names then "all" else String.concat "," (canonical l))
+    ^ elim_suffix
 
 (* --- stage timing --- *)
 
@@ -228,13 +242,13 @@ let fig_1_to_4 () =
 
 (* --- tables --- *)
 
-let tables benches configs =
+let tables ~options benches configs =
   section "Table 1 - characteristics of the benchmark corpora";
-  Table.print (Report.table1 benches);
+  Table.print (Report.table1 ~options benches);
   print_endline
     "(Perfect surrogates: deterministic corpora matching the paper's structural statistics;\n\
      FLQ52, QCD and TRACK all-LBD, MDG and ADM mixed, LBDs almost all flow dependences.)";
-  let ms = Report.measure benches configs in
+  let ms = Report.measure ~options benches configs in
   section "Table 2 - total parallel execution time (100 iterations per loop)";
   Table.print (Report.table2 ms);
   section "Table 3 - improved percentage of parallel execution time";
@@ -251,9 +265,9 @@ let tables benches configs =
 (* The scaled-corpus variant: same sections, but everything flows
    through Report.scaled_tables so no more than a chunk of the corpus
    exists at a time. *)
-let tables_scaled ~scale ~smoke configs =
+let tables_scaled ~options ~scale ~smoke configs =
   let profiles = Suite.profiles ~smoke () in
-  let t1, ms, cats = Report.scaled_tables ~scale profiles configs in
+  let t1, ms, cats, sync_ops = Report.scaled_tables ~options ~scale profiles configs in
   section (Printf.sprintf "Table 1 - characteristics of the benchmark corpora (scale %d)" scale);
   Table.print t1;
   section "Table 2 - total parallel execution time (100 iterations per loop)";
@@ -262,9 +276,11 @@ let tables_scaled ~scale ~smoke configs =
   Table.print (Report.table3 ms);
   let two, four = Report.overall ms in
   Printf.printf "\nOverall enhancement: %.2f%% for 2-issue and %.2f%% for 4-issue\n" two four;
+  Printf.printf "Send/Wait instructions across the generated programs: %d%s\n" sync_ops
+    (if options.Pipeline.sync_elim then " (after redundant-sync elimination)" else "");
   section "DOACROSS loop categories (Chen & Yew's six types, Section 4.1)";
   Table.print cats;
-  ms
+  (ms, sync_ops)
 
 let ablations benches =
   section "Ablation A1 - damage ordering of synchronization paths";
@@ -277,6 +293,8 @@ let ablations benches =
   Table.print (Report.sweep benches);
   section "Ablation A5 - list vs marker-guided (ISPAN'94) vs new scheduling";
   Table.print (Report.ablation_markers benches);
+  section "Ablation A6 - post-codegen redundant-sync elimination";
+  Table.print (Report.ablation_sync_elim benches);
   section "Unroll study - DOACROSS unrolling under the new scheduler";
   Table.print (Report.unroll_study ());
   section "Processor sweep - limited pools with cyclic iteration assignment";
@@ -616,7 +634,7 @@ let previous_runs path =
       | _ -> None
     with Sys_error _ | End_of_file -> None
 
-let emit_record ~path ~cli ~total ?serve (ms : Report.measurement list) =
+let emit_record ~path ~cli ~total ?serve ?sync_ops (ms : Report.measurement list) =
   let b = Buffer.create 1024 in
   let configs =
     List.fold_left (fun acc m -> if List.mem m.Report.config acc then acc else acc @ [ m.Report.config ]) [] ms
@@ -627,6 +645,10 @@ let emit_record ~path ~cli ~total ?serve (ms : Report.measurement list) =
   Buffer.add_string b (Printf.sprintf "      \"jobs\": %d,\n" cli.jobs);
   Buffer.add_string b (Printf.sprintf "      \"smoke\": %b,\n" cli.smoke);
   Buffer.add_string b (Printf.sprintf "      \"scale\": %d,\n" cli.scale);
+  Buffer.add_string b (Printf.sprintf "      \"sync_elim\": %b,\n" cli.sync_elim);
+  (match sync_ops with
+  | None -> ()
+  | Some n -> Buffer.add_string b (Printf.sprintf "      \"sync_ops\": %d,\n" n));
   Buffer.add_string b (Printf.sprintf "      \"stages\": \"%s\",\n" (json_escape (stages_label cli)));
   Buffer.add_string b (Printf.sprintf "      \"wall_clock_seconds\": %.3f,\n" total);
   let hits, misses = Isched_harness.Pipeline.memo_stats () in
@@ -710,22 +732,29 @@ let () =
       match Machine.paper_configs with a :: b :: _ -> [ a; b ] | short -> short
     else Machine.paper_configs
   in
+  let options = { Pipeline.default_options with sync_elim = cli.sync_elim } in
   let serve_json = ref None in
+  let sync_ops = ref None in
   let ms =
     if cli.serve_bench then begin
       serve_json := Some (timed "serve" (fun () -> Serve_bench.run cli));
       []
     end
-    else if cli.scale > 1 then
+    else if cli.scale > 1 then begin
       (* Streamed: the corpus is never materialized, so there is no
          load-corpora stage and only tables can run (enforced at CLI
          parse time). *)
-      timed "tables" (fun () -> tables_scaled ~scale:cli.scale ~smoke:cli.smoke configs)
+      let ms, ops =
+        timed "tables" (fun () -> tables_scaled ~options ~scale:cli.scale ~smoke:cli.smoke configs)
+      in
+      sync_ops := Some ops;
+      ms
+    end
     else begin
       let benches = timed "load-corpora" (fun () -> Suite.corpora ~smoke:cli.smoke ()) in
       if (not cli.smoke) && stage_wanted cli "figures" then timed "figures" fig_1_to_4;
       let ms =
-        if stage_wanted cli "tables" then timed "tables" (fun () -> tables benches configs)
+        if stage_wanted cli "tables" then timed "tables" (fun () -> tables ~options benches configs)
         else []
       in
       if not cli.smoke then begin
@@ -737,7 +766,7 @@ let () =
     end
   in
   let total = Unix.gettimeofday () -. t0 in
-  emit_record ~path:(history_path cli) ~cli ~total ?serve:!serve_json ms;
+  emit_record ~path:(history_path cli) ~cli ~total ?serve:!serve_json ?sync_ops:!sync_ops ms;
   (match cli.trace with
   | None -> ()
   | Some path ->

@@ -346,13 +346,17 @@ let check_cmd =
   let module Inject = Isched_check.Inject in
   let module Pipeline = Isched_harness.Pipeline in
   (* One loop's report: built as data so the pool can fan loops across
-     domains while the printed order stays the input order. *)
-  let check_loop machine which inject (l : Isched_frontend.Ast.loop) =
+     domains while the printed order stays the input order.  [uncached]
+     skips the prepare memo — the streamed --scale path would otherwise
+     grow the cache by the whole scaled corpus. *)
+  let check_loop ?(uncached = false) options machine which inject (l : Isched_frontend.Ast.loop) =
     let name = l.Isched_frontend.Ast.name in
     let lines = ref [] in
     let fails = ref 0 in
     let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
-    (match Pipeline.prepare l with
+    (match
+       if uncached then Pipeline.prepare_uncached options l else Pipeline.prepare ~options l
+     with
     | Pipeline.Doall _ -> add "DOALL after restructuring - no schedule to check"
     | Pipeline.Doacross { graph; _ } ->
       let scheds = match which with None -> [ Sched_list; Sched_marker; Sched_new ] | Some w -> [ w ] in
@@ -412,30 +416,71 @@ let check_cmd =
           scheds);
     (name, List.rev !lines, !fails)
   in
-  let run () () file corpus machine which inject =
-    let loops =
-      (match file with Some f -> load_loops f | None -> [])
-      @
-      if corpus then Isched_perfect.Suite.all_loops () else []
-    in
-    if loops = [] then begin
-      prerr_endline "ischedc check: nothing to check (give FILE and/or --corpus)";
-      exit 2
-    end;
-    let reports = Isched_util.Pool.map (check_loop machine which inject) loops in
-    let total_fails =
-      List.fold_left
-        (fun acc (name, lines, fails) ->
-          Format.printf "=== loop %s ===@." name;
-          List.iter (fun s -> Format.printf "  %s@." s) lines;
-          acc + fails)
-        0 reports
-    in
-    if total_fails > 0 then begin
-      Format.printf "check: %d FAILURE(S) over %d loop(s)@." total_fails (List.length loops);
-      exit 1
+  let run () () file corpus scale sync_elim machine which inject =
+    let options = { Pipeline.default_options with Pipeline.sync_elim } in
+    if scale > 1 then begin
+      (* A scaled corpus is streamed (Suite.chunks), so it composes with
+         --corpus only; a scale-N sweep is thousands of loops, so only
+         the failing reports print, plus a one-line summary. *)
+      if file <> None || not corpus then begin
+        prerr_endline "ischedc check: --scale N with N > 1 requires --corpus (and no FILE)";
+        exit 2
+      end;
+      let total_loops = ref 0 and total_fails = ref 0 and failed_loops = ref 0 in
+      List.iter
+        (fun p ->
+          let chunks = Isched_perfect.Suite.chunks ~scale p in
+          let reports =
+            Isched_util.Pool.map
+              (fun c ->
+                List.map
+                  (check_loop ~uncached:true options machine which inject)
+                  (Isched_perfect.Suite.chunk_loops c))
+              chunks
+          in
+          List.iter
+            (List.iter (fun (name, lines, fails) ->
+                 incr total_loops;
+                 total_fails := !total_fails + fails;
+                 if fails > 0 then begin
+                   incr failed_loops;
+                   Format.printf "=== loop %s ===@." name;
+                   List.iter (fun s -> Format.printf "  %s@." s) lines
+                 end))
+            reports)
+        (Isched_perfect.Suite.profiles ());
+      if !total_fails > 0 then begin
+        Format.printf "check: %d FAILURE(S) in %d of %d loop(s) at scale %d@." !total_fails
+          !failed_loops !total_loops scale;
+        exit 1
+      end
+      else Format.printf "check: all %d loop(s) clean at scale %d@." !total_loops scale
     end
-    else Format.printf "check: all %d loop(s) clean@." (List.length loops)
+    else begin
+      let loops =
+        (match file with Some f -> load_loops f | None -> [])
+        @
+        if corpus then Isched_perfect.Suite.all_loops () else []
+      in
+      if loops = [] then begin
+        prerr_endline "ischedc check: nothing to check (give FILE and/or --corpus)";
+        exit 2
+      end;
+      let reports = Isched_util.Pool.map (check_loop options machine which inject) loops in
+      let total_fails =
+        List.fold_left
+          (fun acc (name, lines, fails) ->
+            Format.printf "=== loop %s ===@." name;
+            List.iter (fun s -> Format.printf "  %s@." s) lines;
+            acc + fails)
+          0 reports
+      in
+      if total_fails > 0 then begin
+        Format.printf "check: %d FAILURE(S) over %d loop(s)@." total_fails (List.length loops);
+        exit 1
+      end
+      else Format.printf "check: all %d loop(s) clean@." (List.length loops)
+    end
   in
   let file =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-Fortran source file.")
@@ -443,6 +488,18 @@ let check_cmd =
   let corpus =
     Arg.(value & flag & info [ "corpus" ]
            ~doc:"Also check every loop of the five Perfect-surrogate seed corpora.")
+  in
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N"
+           ~doc:"Check an N-fold generated corpus (requires --corpus).  The stream is chunked \
+                 and fanned across the job pool in bounded memory; only failing loops print, \
+                 plus a summary line.")
+  in
+  let sync_elim =
+    Arg.(value & flag & info [ "sync-elim" ]
+           ~doc:"Run the redundant-synchronization elimination pass before scheduling, so every \
+                 elimination is machine-checked against the static analyzer and the sequential \
+                 value-simulation oracle.")
   in
   let inject =
     Arg.(value & flag & info [ "inject" ]
@@ -456,7 +513,8 @@ let check_cmd =
              accounting) and run the differential oracle against the sequential reference; \
              non-zero exit on any violation.")
     Term.(
-      const run $ obs_term $ jobs_arg $ file $ corpus $ machine_term $ scheduler_arg $ inject)
+      const run $ obs_term $ jobs_arg $ file $ corpus $ scale $ sync_elim $ machine_term
+      $ scheduler_arg $ inject)
 
 (* --- explain --- *)
 
@@ -533,7 +591,7 @@ let explain_cmd =
 
 let serve_cmd =
   let module Server = Isched_serve.Server in
-  let run () socket workers queue_capacity cache_capacity cache_stripes validate =
+  let run () socket workers queue_capacity cache_capacity cache_stripes validate sync_elim =
     let config =
       {
         Server.socket_path = socket;
@@ -542,6 +600,7 @@ let serve_cmd =
         cache_capacity;
         cache_stripes;
         validate;
+        sync_elim;
       }
     in
     let server =
@@ -586,13 +645,21 @@ let serve_cmd =
                  static analyzer before answering; a failing entry is evicted and reported, \
                  never served.")
   in
+  let sync_elim =
+    Arg.(value & flag & info [ "sync-elim" ]
+           ~doc:"Default to the redundant-synchronization elimination pass for requests that \
+                 do not carry a sync_elim member (the resolved setting is part of the \
+                 schedule-cache key).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the scheduling service: a daemon answering length-prefixed JSON requests \
              (schedule source text or named corpus loops, stats, ping) over a Unix-domain \
              socket, with a digest-keyed LRU schedule cache, bounded-queue backpressure and \
              graceful SIGTERM drain.  Protocol: doc/serving.md.")
-    Term.(const run $ obs_term $ socket $ workers $ queue $ cache_capacity $ cache_stripes $ validate)
+    Term.(
+      const run $ obs_term $ socket $ workers $ queue $ cache_capacity $ cache_stripes $ validate
+      $ sync_elim)
 
 (* --- example --- *)
 
@@ -604,20 +671,28 @@ let example_cmd =
 
 (* --- tables --- *)
 
+let sync_elim_flag =
+  Arg.(value & flag & info [ "sync-elim" ]
+         ~doc:"Run the redundant-synchronization elimination pass (lib/sync/elim) before \
+               scheduling.")
+
 let tables_cmd =
-  let run () () which =
+  let run () () which sync_elim =
+    let options =
+      { Isched_harness.Pipeline.default_options with Isched_harness.Pipeline.sync_elim }
+    in
     let benches = Isched_perfect.Suite.all () in
     let print_t t = Isched_util.Table.print t in
     let table23 () =
-      Isched_harness.Report.measure benches Isched_ir.Machine.paper_configs
+      Isched_harness.Report.measure ~options benches Isched_ir.Machine.paper_configs
     in
     (match which with
-    | "table1" -> print_t (Isched_harness.Report.table1 benches)
+    | "table1" -> print_t (Isched_harness.Report.table1 ~options benches)
     | "table2" -> print_t (Isched_harness.Report.table2 (table23 ()))
     | "table3" -> print_t (Isched_harness.Report.table3 (table23 ()))
     | "categories" -> print_t (Isched_harness.Report.categories benches)
     | "all" ->
-      print_t (Isched_harness.Report.table1 benches);
+      print_t (Isched_harness.Report.table1 ~options benches);
       let ms = table23 () in
       print_t (Isched_harness.Report.table2 ms);
       print_t (Isched_harness.Report.table3 ms);
@@ -630,6 +705,40 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables over the surrogate corpora.")
+    Term.(const run $ obs_term $ jobs_arg $ which $ sync_elim_flag)
+
+(* --- ablations --- *)
+
+let ablations_cmd =
+  let run () () which =
+    let module Report = Isched_harness.Report in
+    let benches = Isched_perfect.Suite.all () in
+    let all =
+      [
+        ("order", Report.ablation_order);
+        ("elimination", Report.ablation_elimination);
+        ("migration", Report.ablation_migration);
+        ("markers", Report.ablation_markers);
+        ("sync-elim", Report.ablation_sync_elim);
+      ]
+    in
+    match which with
+    | "all" ->
+      List.iter (fun (_, f) -> Isched_util.Table.print (f benches)) all
+    | w -> (
+      match List.assoc_opt w all with
+      | Some f -> Isched_util.Table.print (f benches)
+      | None -> invalid_arg ("unknown ablation: " ^ w))
+  in
+  let which =
+    Arg.(value & opt string "all" & info [ "which" ] ~docv:"WHICH"
+           ~doc:"One of order, elimination, migration, markers, sync-elim, all.")
+  in
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:"Print the ablation tables (A1 damage ordering, A2 plan-level elimination, A3 \
+             migration, A5 marker-guided comparison, A6 post-codegen redundant-sync \
+             elimination) without running the full benchmark harness.")
     Term.(const run $ obs_term $ jobs_arg $ which)
 
 let () =
@@ -643,5 +752,5 @@ let () =
        (Cmd.group ~default info
           [
             compile_cmd; deps_cmd; dfg_cmd; sched_cmd; sim_cmd; check_cmd; asm_cmd; viz_cmd;
-            explain_cmd; example_cmd; tables_cmd; serve_cmd;
+            explain_cmd; example_cmd; tables_cmd; ablations_cmd; serve_cmd;
           ]))

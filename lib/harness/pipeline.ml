@@ -8,11 +8,13 @@ module Counters = Isched_obs.Counters
 type options = {
   eliminate : bool;
   migrate : bool;
+  sync_elim : bool;
   order_paths : bool;
   n_iters : int option;
 }
 
-let default_options = { eliminate = false; migrate = false; order_paths = true; n_iters = None }
+let default_options =
+  { eliminate = false; migrate = false; sync_elim = false; order_paths = true; n_iters = None }
 
 type prepared =
   | Doall of Restructure.result
@@ -43,6 +45,7 @@ type prep_key = {
   key_loop : Ast.loop;
   key_eliminate : bool;
   key_migrate : bool;
+  key_sync_elim : bool;
   key_n_iters : int option;
 }
 
@@ -58,12 +61,14 @@ module Key = struct
   let equal a b =
     a.key_eliminate = b.key_eliminate
     && a.key_migrate = b.key_migrate
+    && a.key_sync_elim = b.key_sync_elim
     && a.key_n_iters = b.key_n_iters
     && (a.key_loop == b.key_loop
        || (a.key_loop.Ast.digest = b.key_loop.Ast.digest && a.key_loop = b.key_loop))
 
   let hash k =
-    k.key_loop.Ast.digest lxor Hashtbl.hash (k.key_eliminate, k.key_migrate, k.key_n_iters)
+    k.key_loop.Ast.digest
+    lxor Hashtbl.hash (k.key_eliminate, k.key_migrate, k.key_sync_elim, k.key_n_iters)
 end
 
 module Memo_tbl = Hashtbl.Make (Key)
@@ -109,6 +114,13 @@ let prepare_uncached (options : options) (l : Ast.loop) =
             ~carried ?n_iters:options.n_iters l'
         in
         let graph = Isched_dfg.Dfg.build prog in
+        let prog, graph =
+          if options.sync_elim then begin
+            let r = Isched_sync.Elim.run prog graph in
+            (r.Isched_sync.Elim.prog, r.Isched_sync.Elim.graph)
+          end
+          else (prog, graph)
+        in
         Doacross { restructured; carried; prog; graph }
       end)
 
@@ -118,6 +130,7 @@ let prepare ?(options = default_options) (l : Ast.loop) =
       key_loop = l;
       key_eliminate = options.eliminate;
       key_migrate = options.migrate;
+      key_sync_elim = options.sync_elim;
       key_n_iters = options.n_iters;
     }
   in

@@ -13,8 +13,12 @@ module Program := Isched_ir.Program
 module Machine := Isched_ir.Machine
 
 type options = {
-  eliminate : bool;  (** redundant-sync elimination pre-pass (ablation A2) *)
+  eliminate : bool;  (** plan-level redundant-wait pre-pass (ablation A2) *)
   migrate : bool;  (** statement migration pre-pass (ablation A3) *)
+  sync_elim : bool;
+      (** post-codegen transitive-reduction pass ({!Isched_sync.Elim}):
+          deletes Send/Wait pairs whose ordering is already enforced
+          transitively and rebuilds the graph the schedulers see *)
   order_paths : bool;  (** new scheduler's damage ordering (ablation A1) *)
   n_iters : int option;  (** override the loops' trip count *)
 }
@@ -39,7 +43,9 @@ type prepared =
 (** [prepare ?options l] runs the front half of the pipeline.
 
     Results are memoized on the structural key (loop, eliminate,
-    migrate, n_iters): the tables, sweeps and ablations re-prepare the
+    migrate, sync_elim, n_iters) — every option the front half reads is
+    part of the key, so toggling a pass can never return a stale
+    preparation: the tables, sweeps and ablations re-prepare the
     same corpus loops many times, and restructuring + code generation +
     graph construction dominate their cost.  The cache is protected by a
     mutex and safe to hit from {!Isched_util.Pool} workers; the cached

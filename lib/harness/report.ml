@@ -12,9 +12,9 @@ module Ast = Isched_frontend.Ast
 
 (* --- Table 1 --- *)
 
-let corpus_stats (b : Suite.benchmark) =
+let corpus_stats ?(options = Pipeline.default_options) (b : Suite.benchmark) =
   let loops = b.Suite.loops in
-  let prepared = List.map (fun l -> (l, Pipeline.prepare l)) loops in
+  let prepared = List.map (fun l -> (l, Pipeline.prepare ~options l)) loops in
   let source_lines = List.fold_left (fun acc l -> acc + Ast.source_lines l) 0 loops in
   let n_doall =
     List.length (List.filter (fun (_, p) -> match p with Pipeline.Doall _ -> true | _ -> false) prepared)
@@ -53,11 +53,11 @@ let table1_of_rows rows =
   Table.add_row t ("TOTAL" :: Array.to_list (Array.map Table.fmt_int totals));
   t
 
-let table1 benches =
+let table1 ?options benches =
   table1_of_rows
     (List.map
        (fun (b : Suite.benchmark) ->
-         let l, nl, nd, dlx, lfd, lbd = corpus_stats b in
+         let l, nl, nd, dlx, lfd, lbd = corpus_stats ?options b in
          (b.Suite.profile.Isched_perfect.Profile.name, [ l; nl; nd; dlx; lfd; lbd ]))
        benches)
 
@@ -229,15 +229,19 @@ type chunk_summary = {
   cs_stats : int array;  (* lines, loops, doall, dlx, lfd, lbd *)
   cs_meas : (string * int * int) list;  (* config -> (t_list, t_new) *)
   cs_cats : int list;  (* per-category counts @ [doall], categories order *)
+  cs_sync_ops : int;  (* Send/Wait instructions over the DOACROSS programs *)
 }
 
-let summarize_chunk configs (c : Suite.chunk) =
+let count_sync_ops (p : Program.t) =
+  Array.fold_left
+    (fun acc i -> if Isched_ir.Instr.is_sync i then acc + 1 else acc)
+    0 p.Program.body
+
+let summarize_chunk ?(options = Pipeline.default_options) configs (c : Suite.chunk) =
   let module Doall = Isched_transform.Doall in
   let loops = Suite.chunk_loops c in
   (* [prepare_uncached]: a 1000x corpus must not accumulate in the memo. *)
-  let prepared =
-    List.map (fun l -> (l, Pipeline.prepare_uncached Pipeline.default_options l)) loops
-  in
+  let prepared = List.map (fun l -> (l, Pipeline.prepare_uncached options l)) loops in
   let source_lines = List.fold_left (fun acc (l, _) -> acc + Ast.source_lines l) 0 prepared in
   let doacross =
     List.filter_map
@@ -253,13 +257,14 @@ let summarize_chunk configs (c : Suite.chunk) =
   let dlx = List.fold_left (fun acc p -> acc + Array.length p.Program.body) 0 progs in
   let lfd = List.fold_left (fun acc p -> acc + Program.n_lfd p) 0 progs in
   let lbd = List.fold_left (fun acc p -> acc + Program.n_lbd p) 0 progs in
+  let cs_sync_ops = List.fold_left (fun acc p -> acc + count_sync_ops p) 0 progs in
   let cs_meas =
     List.map
       (fun (cname, m) ->
         let tl, tn =
           List.fold_left
             (fun (atl, atn) (_, p) ->
-              let tl, tn = Pipeline.list_and_new_times p m in
+              let tl, tn = Pipeline.list_and_new_times ~options p m in
               (atl + tl, atn + tn))
             (0, 0) doacross
         in
@@ -293,11 +298,12 @@ let summarize_chunk configs (c : Suite.chunk) =
     cs_stats = [| source_lines; List.length loops; n_doall; dlx; lfd; lbd |];
     cs_meas;
     cs_cats;
+    cs_sync_ops;
   }
 
-let scaled_tables ?jobs ?(chunk_size = 64) ~scale profiles configs =
+let scaled_tables ?options ?jobs ?(chunk_size = 64) ~scale profiles configs =
   let cells = List.concat_map (fun p -> Suite.chunks ~chunk_size ~scale p) profiles in
-  let summaries = Pool.map ?jobs (summarize_chunk configs) cells in
+  let summaries = Pool.map ?jobs (summarize_chunk ?options configs) cells in
   let by_profile (p : Profile.t) =
     List.filter (fun s -> s.cs_profile = p.Profile.name) summaries
   in
@@ -348,7 +354,8 @@ let scaled_tables ?jobs ?(chunk_size = 64) ~scale profiles configs =
              (p.Profile.name, Array.to_list row))
          profiles)
   in
-  (t1, ms, cats)
+  let sync_ops = List.fold_left (fun acc s -> acc + s.cs_sync_ops) 0 summaries in
+  (t1, ms, cats, sync_ops)
 
 (* --- ablations --- *)
 
@@ -516,6 +523,100 @@ let ablation_elimination _benches =
           Table.fmt_pct (improvement ~t_list:t_full ~t_new:t_red);
         ])
     elimination_kernels;
+  t
+
+(* A6 drives the POST-codegen transitive-reduction pass
+   (Isched_sync.Elim via Pipeline's [sync_elim] option) — unlike A2's
+   plan-level pre-pass it also trusts the sync-condition arcs of
+   surviving pairs, so e.g. the guarded scalar sum (which A2 cannot
+   touch) loses its anti and output waits.  Rows cover the corpus
+   benchmarks plus the elimination kernels across the 2/4-issue x
+   #FU 1/2 grid; "sync" counts Send/Wait instructions in the generated
+   programs and T is the new scheduler's simulated parallel time.  The
+   scale-1 corpus rows typically show no redundancy (the deltas live in
+   the scaled corpus — see the BENCH records' sync_ops field); the
+   kernels row proves the axis end to end. *)
+let ablation_sync_elim benches =
+  let kernels =
+    List.map
+      (fun (name, src) -> Isched_frontend.Parser.parse_loop ~name src)
+      elimination_kernels
+  in
+  let rows =
+    List.map
+      (fun (b : Suite.benchmark) ->
+        (b.Suite.profile.Isched_perfect.Profile.name, b.Suite.loops))
+      benches
+    @ [ ("elim kernels", kernels) ]
+  in
+  let configs =
+    List.concat_map
+      (fun issue ->
+        List.map
+          (fun nfu -> (Printf.sprintf "%d-issue/#FU=%d" issue nfu, Machine.make ~issue ~nfu ()))
+          [ 1; 2 ])
+      [ 2; 4 ]
+  in
+  let base = Pipeline.default_options in
+  let elim = { base with Pipeline.sync_elim = true } in
+  let cell ((_, loops), (_, m)) =
+    let run options =
+      List.fold_left
+        (fun (sync, time) l ->
+          match Pipeline.prepare ~options l with
+          | Pipeline.Doall _ -> (sync, time)
+          | Pipeline.Doacross { prog; _ } as p ->
+            ( sync + count_sync_ops prog,
+              time + Pipeline.loop_time ~options p m Pipeline.New_scheduling ))
+        (0, 0) loops
+    in
+    (run base, run elim)
+  in
+  let cells = List.concat_map (fun r -> List.map (fun c -> (r, c)) configs) rows in
+  let results = Array.of_list (Pool.map cell cells) in
+  let t =
+    Table.create
+      ~title:"Ablation A6 - post-codegen redundant-sync elimination (transitive reduction)"
+      ~columns:
+        [
+          ("Benchmarks", Table.Left);
+          ("config", Table.Left);
+          ("sync", Table.Right);
+          ("sync+elim", Table.Right);
+          ("new T", Table.Right);
+          ("new+elim T", Table.Right);
+          ("gain", Table.Right);
+        ]
+  in
+  let nc = List.length configs in
+  let tot = Array.make 4 0 in
+  List.iteri
+    (fun ri (rname, _) ->
+      List.iteri
+        (fun ci (cname, _) ->
+          let (s0, t0), (s1, t1) = results.((ri * nc) + ci) in
+          tot.(0) <- tot.(0) + s0;
+          tot.(1) <- tot.(1) + s1;
+          tot.(2) <- tot.(2) + t0;
+          tot.(3) <- tot.(3) + t1;
+          Table.add_row t
+            [
+              (if ci = 0 then rname else "");
+              cname;
+              Table.fmt_int s0;
+              Table.fmt_int s1;
+              Table.fmt_int t0;
+              Table.fmt_int t1;
+              Table.fmt_pct (improvement ~t_list:t0 ~t_new:t1);
+            ])
+        configs)
+    rows;
+  Table.add_sep t;
+  Table.add_row t
+    [
+      "TOTAL"; ""; Table.fmt_int tot.(0); Table.fmt_int tot.(1); Table.fmt_int tot.(2);
+      Table.fmt_int tot.(3); Table.fmt_pct (improvement ~t_list:tot.(2) ~t_new:tot.(3));
+    ];
   t
 
 let ablation_migration benches =

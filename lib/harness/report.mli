@@ -8,7 +8,10 @@ module Suite := Isched_perfect.Suite
 
 (** {2 Table 1 — benchmark characteristics} *)
 
-val table1 : Suite.benchmark list -> Table.t
+(** [options] (here and below) defaults to
+    {!Pipeline.default_options}; pass [{ default_options with
+    sync_elim = true }] to report on the elimination-pass output. *)
+val table1 : ?options:Pipeline.options -> Suite.benchmark list -> Table.t
 
 (** {2 Table 2 / Table 3 — parallel execution times and improvement} *)
 
@@ -48,8 +51,8 @@ val categories : Suite.benchmark list -> Table.t
 
 (** {2 Streamed, scaled tables ([bench --scale N])} *)
 
-(** [scaled_tables ?jobs ?chunk_size ~scale profiles configs] — Tables
-    1, 2/3 measurements and the category table for a [scale]×
+(** [scaled_tables ?options ?jobs ?chunk_size ~scale profiles configs]
+    — Tables 1, 2/3 measurements and the category table for a [scale]×
     generated corpus, computed without ever materializing it: the loop
     stream of every profile is cut into independent chunks
     ({!Isched_perfect.Suite.chunks}, [chunk_size] generated loops each),
@@ -57,14 +60,17 @@ val categories : Suite.benchmark list -> Table.t
     loops to a handful of integer sums before the next chunk is
     generated.  Sums are associative, so the returned tables are
     byte-identical for every job count and chunk size.  Returns
-    [(table1, measurements, categories)]. *)
+    [(table1, measurements, categories, sync_ops)] where [sync_ops] is
+    the total Send/Wait instruction count of the generated programs —
+    the quantity the sync-elimination ablation drives down. *)
 val scaled_tables :
+  ?options:Pipeline.options ->
   ?jobs:int ->
   ?chunk_size:int ->
   scale:int ->
   Isched_perfect.Profile.t list ->
   (string * Machine.t) list ->
-  Table.t * measurement list * Table.t
+  Table.t * measurement list * Table.t * int
 
 (** {2 Ablations} *)
 
@@ -74,6 +80,13 @@ val ablation_order : Suite.benchmark list -> Table.t
 (** A2: redundant-synchronization elimination stacked on both
     schedulers. *)
 val ablation_elimination : Suite.benchmark list -> Table.t
+
+(** A6: the post-codegen transitive-reduction pass
+    ({!Isched_sync.Elim} via {!Pipeline.options}[.sync_elim]) over the
+    corpus benchmarks plus the elimination kernels, on the 2/4-issue x
+    #FU 1/2 grid.  Columns report the Send/Wait instruction count and
+    the new scheduler's time with and without the pass. *)
+val ablation_sync_elim : Suite.benchmark list -> Table.t
 
 (** A3: statement migration stacked on both schedulers. *)
 val ablation_migration : Suite.benchmark list -> Table.t

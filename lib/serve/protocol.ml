@@ -17,12 +17,13 @@ type request =
       issue : int;
       nfu : int;
       n_iters : int option;
+      sync_elim : bool option;  (* None: the server's configured default *)
       explain : bool;
     }
 
-let schedule_request ?(scheduler = Sched_new) ?(issue = 4) ?(nfu = 1) ?n_iters ?(explain = false)
-    source =
-  Schedule { source; scheduler; issue; nfu; n_iters; explain }
+let schedule_request ?(scheduler = Sched_new) ?(issue = 4) ?(nfu = 1) ?n_iters ?sync_elim
+    ?(explain = false) source =
+  Schedule { source; scheduler; issue; nfu; n_iters; sync_elim; explain }
 
 (* --- responses --- *)
 
@@ -93,7 +94,7 @@ let num i = Json.Num (float_of_int i)
 let request_to_json = function
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
-  | Schedule { source; scheduler; issue; nfu; n_iters; explain } ->
+  | Schedule { source; scheduler; issue; nfu; n_iters; sync_elim; explain } ->
     let src =
       match source with
       | Text s -> ("source", Json.Str s)
@@ -103,6 +104,7 @@ let request_to_json = function
       ([ ("op", Json.Str "schedule"); src; ("scheduler", Json.Str (scheduler_name scheduler));
          ("issue", num issue); ("nfu", num nfu) ]
       @ (match n_iters with None -> [] | Some n -> [ ("n_iters", num n) ])
+      @ (match sync_elim with None -> [] | Some b -> [ ("sync_elim", Json.Bool b) ])
       @ [ ("explain", Json.Bool explain) ])
 
 let loop_reply_to_json r =
@@ -166,6 +168,29 @@ let opt_int ?(min = min_int) k v =
       Ok (Some (int_of_float f))
     | _ -> bad "%S must be an integer >= %d" k min)
 
+let opt_bool k v =
+  match Json.member k v with
+  | None -> Ok None
+  | Some x -> (
+    match Json.to_bool x with
+    | Some b -> Ok (Some b)
+    | None -> bad "%S must be a boolean" k)
+
+(* Every member a schedule request may carry.  Anything else — a
+   misspelled field, an unsupported pass option — is rejected as a
+   structured [Bad_request] rather than silently ignored, so a client
+   can never believe it toggled a pass the server never saw. *)
+let schedule_members =
+  [ "op"; "source"; "corpus_loop"; "scheduler"; "issue"; "nfu"; "n_iters"; "sync_elim"; "explain" ]
+
+let check_members known v =
+  match v with
+  | Json.Obj fields -> (
+    match List.find_opt (fun (k, _) -> not (List.mem k known)) fields with
+    | Some (k, _) -> bad "unknown request member %S" k
+    | None -> Ok ())
+  | _ -> Ok ()
+
 let request_of_json v =
   match v with
   | Json.Obj _ -> (
@@ -174,6 +199,7 @@ let request_of_json v =
     | "ping" -> Ok Ping
     | "stats" -> Ok Stats
     | "schedule" ->
+      let* () = check_members schedule_members v in
       let* source =
         match (Json.member "source" v, Json.member "corpus_loop" v) with
         | Some _, Some _ -> bad "give exactly one of \"source\" and \"corpus_loop\""
@@ -191,8 +217,9 @@ let request_of_json v =
       let* issue = get_int ~min:1 "issue" v in
       let* nfu = get_int ~min:1 "nfu" v in
       let* n_iters = opt_int ~min:1 "n_iters" v in
+      let* sync_elim = opt_bool "sync_elim" v in
       let* explain = get_bool "explain" v in
-      Ok (Schedule { source; scheduler; issue; nfu; n_iters; explain })
+      Ok (Schedule { source; scheduler; issue; nfu; n_iters; sync_elim; explain })
     | other -> bad "unknown op %S" other)
   | _ -> bad "request must be a JSON object"
 

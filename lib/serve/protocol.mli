@@ -39,17 +39,24 @@ type request =
       issue : int;
       nfu : int;
       n_iters : int option;  (** trip-count override *)
+      sync_elim : bool option;
+          (** run the {!Isched_sync.Elim} redundant-synchronization
+              elimination pass; [None] defers to the server's configured
+              default.  A non-boolean value, like any unknown request
+              member, is rejected with a structured [Bad_request]. *)
       explain : bool;  (** attach the [ischedc explain] JSON payload *)
     }
 
-(** [schedule_request ?scheduler ?issue ?nfu ?n_iters ?explain source] —
-    a [Schedule] with the server-side defaults (new scheduler, 4-issue,
-    1 FU copy, no override, no explain payload). *)
+(** [schedule_request ?scheduler ?issue ?nfu ?n_iters ?sync_elim ?explain
+    source] — a [Schedule] with the server-side defaults (new scheduler,
+    4-issue, 1 FU copy, no override, server-default elimination, no
+    explain payload). *)
 val schedule_request :
   ?scheduler:scheduler ->
   ?issue:int ->
   ?nfu:int ->
   ?n_iters:int ->
+  ?sync_elim:bool ->
   ?explain:bool ->
   source ->
   request

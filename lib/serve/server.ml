@@ -22,6 +22,7 @@ type config = {
   cache_capacity : int;
   cache_stripes : int;
   validate : bool;
+  sync_elim : bool;
 }
 
 let default_config ~socket_path =
@@ -32,14 +33,19 @@ let default_config ~socket_path =
     cache_capacity = 1024;
     cache_stripes = 16;
     validate = false;
+    sync_elim = false;
   }
 
 (* --- the schedule cache --- *)
 
-(* One cache entry per (loop, machine, scheduler, trip-count override):
-   everything the pipeline's answer depends on.  The loop's structural
-   digest (computed once at construction, see Ast.make_loop) carries the
-   hash; equality pre-filters on it before the full structural compare,
+(* One cache entry per (loop, machine, scheduler, trip-count override,
+   pass configuration): everything the pipeline's answer depends on.
+   [k_sync_elim] is the RESOLVED setting (request override or server
+   default), so the same loop served with and without elimination
+   occupies two distinct entries — a toggled option can never be
+   answered from a stale schedule.  The loop's structural digest
+   (computed once at construction, see Ast.make_loop) carries the hash;
+   equality pre-filters on it before the full structural compare,
    exactly like the prepare memo's key. *)
 type sched_key = {
   k_digest : int;
@@ -48,13 +54,16 @@ type sched_key = {
   k_issue : int;
   k_nfu : int;
   k_n_iters : int option;
+  k_sync_elim : bool;
 }
 
-let key_hash k = k.k_digest lxor Hashtbl.hash (k.k_scheduler, k.k_issue, k.k_nfu, k.k_n_iters)
+let key_hash k =
+  k.k_digest lxor Hashtbl.hash (k.k_scheduler, k.k_issue, k.k_nfu, k.k_n_iters, k.k_sync_elim)
 
 let key_equal a b =
   a.k_scheduler = b.k_scheduler && a.k_issue = b.k_issue && a.k_nfu = b.k_nfu
   && a.k_n_iters = b.k_n_iters
+  && a.k_sync_elim = b.k_sync_elim
   && (a.k_loop == b.k_loop || (a.k_digest = b.k_digest && a.k_loop = b.k_loop))
 
 (* The cached value keeps three forms of the answer: the structured
@@ -186,7 +195,7 @@ let explain_payload t ~options ~which (l : Ast.loop) machine =
    payload (the warm path, which splices cached renderings). *)
 type outcome = Response of Protocol.response | Encoded of string
 
-let handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~explain =
+let handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~sync_elim ~explain =
   let machine = Machine.make ~issue ~nfu () in
   match Machine.validate machine with
   | exception Invalid_argument m ->
@@ -195,7 +204,8 @@ let handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~explain =
     match resolve_loops source with
     | Error (code, message) -> Response (Protocol.Error { code; message })
     | Ok loops -> (
-      let options = { Pipeline.default_options with n_iters } in
+      let sync_elim = Option.value sync_elim ~default:t.config.sync_elim in
+      let options = { Pipeline.default_options with n_iters; sync_elim } in
       let which = pipeline_scheduler scheduler in
       let served =
         List.map
@@ -208,6 +218,7 @@ let handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~explain =
                 k_issue = issue;
                 k_nfu = nfu;
                 k_n_iters = n_iters;
+                k_sync_elim = sync_elim;
               }
             in
             let cached, hit =
@@ -283,8 +294,8 @@ let handle_inner t = function
                   ] );
               ("counters", counters);
             ]))
-  | Protocol.Schedule { source; scheduler; issue; nfu; n_iters; explain } ->
-    handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~explain
+  | Protocol.Schedule { source; scheduler; issue; nfu; n_iters; sync_elim; explain } ->
+    handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~sync_elim ~explain
 
 let handle_outcome t req =
   let out =

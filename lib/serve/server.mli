@@ -43,10 +43,16 @@ type config = {
           independent {!Isched_check.Static} analyzer; a corrupt entry
           is evicted and reported as an [invalid_schedule] error, never
           served *)
+  sync_elim : bool;
+      (** default for requests that do not carry a [sync_elim] member:
+          run the {!Isched_sync.Elim} redundant-synchronization
+          elimination pass.  The resolved setting is part of the
+          schedule-cache key, so the two settings never share an
+          entry. *)
 }
 
 (** [default_config ~socket_path] — 4 workers, queue 64, cache 1024
-    over 16 stripes, no validation. *)
+    over 16 stripes, no validation, no elimination. *)
 val default_config : socket_path:string -> config
 
 type t

@@ -195,6 +195,51 @@ let test_options_respected () =
   let elim = with_opts { Pipeline.default_options with Pipeline.eliminate = true } in
   Alcotest.(check bool) "elimination drops pairs" true (elim < base)
 
+let test_memo_key_covers_sync_elim () =
+  (* The cache-key regression this PR fixes a class of: flipping a pass
+     option must be a memo MISS that returns a different preparation,
+     never a stale hit from the other setting.  The guarded reduction is
+     a kernel where the post-codegen pass provably changes the program
+     (the plan-level pass cannot touch it). *)
+  Pipeline.memo_clear ();
+  let l =
+    Isched_frontend.Parser.parse_loop
+      "DOACROSS I = 1, 50\n IF (E[I] > 0) S = S + Q[I] * C[I]\nENDDO"
+  in
+  let waits p =
+    match p with
+    | Pipeline.Doacross { prog; _ } -> Array.length prog.Isched_ir.Program.waits
+    | Pipeline.Doall _ -> -1
+  in
+  let base = Pipeline.prepare l in
+  check Alcotest.int "one miss" 1 (snd (Pipeline.memo_stats ()));
+  let elim =
+    Pipeline.prepare ~options:{ Pipeline.default_options with Pipeline.sync_elim = true } l
+  in
+  check Alcotest.int "flipping sync_elim misses" 2 (snd (Pipeline.memo_stats ()));
+  Alcotest.(check bool) "distinct cache lines" true (elim != base);
+  Alcotest.(check bool) "the eliminated preparation is smaller" true (waits elim < waits base);
+  (* Re-asking for either setting hits its own line and keeps its own
+     answer. *)
+  let base' = Pipeline.prepare l in
+  let elim' =
+    Pipeline.prepare ~options:{ Pipeline.default_options with Pipeline.sync_elim = true } l
+  in
+  check Alcotest.int "no further misses" 2 (snd (Pipeline.memo_stats ()));
+  Alcotest.(check bool) "base line stable" true (base' == base);
+  Alcotest.(check bool) "elim line stable" true (elim' == elim)
+
+let test_ablation_sync_elim () =
+  let t = Report.ablation_sync_elim (small_benches ()) in
+  let s = Isched_util.Table.render t in
+  Alcotest.(check bool) "table renders" true (String.length s > 0);
+  Alcotest.(check bool) "kernels row present" true
+    (let n = String.length s in
+     let affix = "elim kernels" in
+     let m = String.length affix in
+     let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+     go 0)
+
 let suite =
   [
     ("pipeline: prepare splits doall/doacross", `Quick, test_pipeline_prepare);
@@ -212,6 +257,8 @@ let suite =
     ("worked example: all figures present", `Quick, test_worked_example_report);
     ("worked example: Fig. 4 times", `Quick, test_worked_example_times);
     ("pipeline options: redundant-sync elimination", `Quick, test_options_respected);
+    ("pipeline: memo key covers sync_elim", `Quick, test_memo_key_covers_sync_elim);
+    ("ablation A6 renders", `Quick, test_ablation_sync_elim);
     ("measure: domain pool equals sequential", `Quick, test_measure_pool_matches_sequential);
     ("pipeline: prepare memoization", `Quick, test_prepare_memo);
     ("pipeline: memo safe under 8-way identical keys", `Quick, test_prepare_memo_concurrent);

@@ -193,12 +193,13 @@ let test_scaled_tables_jobs_invariant () =
   let configs =
     List.filteri (fun i _ -> i < 2) Machine.paper_configs
   in
-  let render (t1, ms, cats) =
+  let render (t1, ms, cats, sync_ops) =
     ( Table.render t1,
       List.map
         (fun (m : Report.measurement) -> (m.benchmark, m.config, m.t_list, m.t_new))
         ms,
-      Table.render cats )
+      Table.render cats,
+      sync_ops )
   in
   let one = render (Report.scaled_tables ~jobs:1 ~scale:2 profiles configs) in
   let four = render (Report.scaled_tables ~jobs:4 ~scale:2 profiles configs) in

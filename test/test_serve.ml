@@ -40,9 +40,10 @@ let gen_request =
          let* issue = int_range 1 16 in
          let* nfu = int_range 1 4 in
          let* n_iters = opt (int_range 1 10_000) in
+         let* sync_elim = opt bool in
          let* explain = bool in
          let source = if text then Protocol.Text s else Protocol.Corpus_loop s in
-         return (Protocol.Schedule { source; scheduler; issue; nfu; n_iters; explain }));
+         return (Protocol.Schedule { source; scheduler; issue; nfu; n_iters; sync_elim; explain }));
       ])
 
 (* Arbitrary JSON whose numbers are integral: that is all the protocol
@@ -454,6 +455,44 @@ let test_handler_errors () =
   expect_error "bad machine" Protocol.Bad_request
     (Server.handle server (Protocol.schedule_request ~issue:0 (Protocol.Corpus_loop "QCD.L1")))
 
+(* --- the schedule-cache key covers sync_elim --- *)
+
+(* The guarded scalar reduction reaches codegen with flow, anti and
+   output pairs; the sync_elim pass provably removes two of them, so
+   the two settings serve different schedules — a shared cache entry
+   would be observably wrong, not just stale. *)
+let elim_kernel = "DOACROSS I = 1, 50\n IF (E[I] > 0) S = S + Q[I] * C[I]\nENDDO"
+
+let test_cache_key_covers_sync_elim () =
+  let server = Server.create (Server.default_config ~socket_path:"/tmp/unused.sock") in
+  let ask ?sync_elim () =
+    match
+      Server.handle server (Protocol.schedule_request ?sync_elim (Protocol.Text elim_kernel))
+    with
+    | Protocol.Scheduled { cache_hit; loops = [ r ] } -> (cache_hit, r)
+    | Protocol.Error { message; _ } -> Alcotest.failf "error: %s" message
+    | _ -> Alcotest.fail "expected one scheduled loop"
+  in
+  let hit_base, base = ask () in
+  Alcotest.(check bool) "base request is cold" false hit_base;
+  let hit_elim, elim = ask ~sync_elim:true () in
+  Alcotest.(check bool) "flipping sync_elim is a MISS, never a stale hit" false hit_elim;
+  Alcotest.(check int) "two distinct cache entries" 2 (Server.cache_length server);
+  Alcotest.(check bool) "the settings serve different schedules" true
+    (base.Protocol.rows <> elim.Protocol.rows);
+  let hit_base', base' = ask () in
+  let hit_elim', elim' = ask ~sync_elim:true () in
+  Alcotest.(check bool) "base entry warm" true hit_base';
+  Alcotest.(check bool) "elim entry warm" true hit_elim';
+  Alcotest.(check bool) "base entry stable" true (base'.Protocol.rows = base.Protocol.rows);
+  Alcotest.(check bool) "elim entry stable" true (elim'.Protocol.rows = elim.Protocol.rows);
+  (* The key stores the RESOLVED setting: an explicit [false] and an
+     absent member both resolve to the server default and share one
+     entry. *)
+  let hit_explicit, _ = ask ~sync_elim:false () in
+  Alcotest.(check bool) "explicit false hits the resolved-default entry" true hit_explicit;
+  Alcotest.(check int) "still two entries" 2 (Server.cache_length server)
+
 (* --- the --validate injection --- *)
 
 let test_validate_catches_corruption () =
@@ -582,7 +621,31 @@ let test_socket_hostile_frames () =
     | Ok r -> expect_error "unknown op" Protocol.Bad_request r
     | Error _ -> Alcotest.fail "undecodable error response")
   | other -> Alcotest.failf "expected a frame, got %s" (read_result_name other));
-  (* The connection is still usable after three bad requests. *)
+  (* A malformed pass option — sync_elim must be a boolean — is a
+     structured error, never a silently applied default and never a
+     dropped connection. *)
+  Protocol.write_frame fd
+    "{\"op\": \"schedule\", \"source\": \"DOACROSS I = 1, 10\\n A[I] = A[I-1]\\nENDDO\", \
+     \"sync_elim\": \"yes\"}";
+  (match Protocol.read_frame_buffered reader with
+  | Protocol.Frame p -> (
+    match Protocol.decode_response p with
+    | Ok r -> expect_error "non-boolean sync_elim" Protocol.Bad_request r
+    | Error _ -> Alcotest.fail "undecodable error response")
+  | other -> Alcotest.failf "expected a frame, got %s" (read_result_name other));
+  (* An unknown request member — a misspelled or unsupported pass
+     option — is likewise answered, not ignored: a client asking for a
+     pass the server does not know must hear about it. *)
+  Protocol.write_frame fd
+    "{\"op\": \"schedule\", \"source\": \"DOACROSS I = 1, 10\\n A[I] = A[I-1]\\nENDDO\", \
+     \"migrate\": true}";
+  (match Protocol.read_frame_buffered reader with
+  | Protocol.Frame p -> (
+    match Protocol.decode_response p with
+    | Ok r -> expect_error "unknown request member" Protocol.Bad_request r
+    | Error _ -> Alcotest.fail "undecodable error response")
+  | other -> Alcotest.failf "expected a frame, got %s" (read_result_name other));
+  (* The connection is still usable after five bad requests. *)
   Protocol.write_frame fd (Protocol.encode_request Protocol.Ping);
   (match Protocol.read_frame_buffered reader with
   | Protocol.Frame p -> Alcotest.(check bool) "ping after garbage" true
@@ -695,6 +758,8 @@ let suite =
       test_served_equals_fresh;
     Alcotest.test_case "server: multi-loop source text" `Quick test_served_text_source;
     Alcotest.test_case "server: error mapping" `Quick test_handler_errors;
+    Alcotest.test_case "server: cache key covers sync_elim" `Quick
+      test_cache_key_covers_sync_elim;
     Alcotest.test_case "server: --validate catches a corrupted cache entry" `Quick
       test_validate_catches_corruption;
     Alcotest.test_case "server: exactly-once compute across domains" `Quick

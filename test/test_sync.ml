@@ -124,6 +124,200 @@ let test_eliminate_sound_on_fig1_values () =
       | Error es -> Alcotest.failf "unsound: %s" (String.concat "; " es))
     [ Isched_core.List_sched.run g m; Isched_core.Sync_sched.run g m ]
 
+(* --- post-codegen transitive reduction (Isched_sync.Elim) --- *)
+
+module Elim = Isched_sync.Elim
+module Prog = Isched_ir.Program
+module Dfg = Isched_dfg.Dfg
+module Pipeline = Isched_harness.Pipeline
+
+let elim_of src =
+  let p = compile src in
+  let g = Dfg.build p in
+  (p, Elim.run p g)
+
+(* The pre-codegen plan-level pass (Reduce) only replaces UNguarded
+   scalar reductions, so this kernel reaches codegen with flow, anti and
+   output pairs on S — exactly the shape only the post-codegen pass can
+   thin. *)
+let guarded_sum = "DOACROSS I = 1, 50\n IF (E[I] > 0) S = S + Q[I] * C[I]\nENDDO"
+
+let test_elim_constant_cell () =
+  let p, r = elim_of "DOACROSS I = 1, 50\n A[5] = A[5] + E[I]\nENDDO" in
+  Alcotest.(check bool) "several waits initially" true (n_waits p >= 3);
+  check Alcotest.int "one wait remains" 1 (n_waits r.Elim.prog);
+  check Alcotest.int "eliminations recorded" (n_waits p - 1) (List.length r.Elim.eliminated);
+  Prog.validate r.Elim.prog
+
+let test_elim_stronger_than_plan_level () =
+  let plan_reduced = compile ~eliminate:true guarded_sum in
+  let p, r = elim_of guarded_sum in
+  check Alcotest.int "plan-level pass is blind to the guarded reduction" (n_waits p)
+    (n_waits plan_reduced);
+  check Alcotest.int "elim removes the anti and output waits" 2 (List.length r.Elim.eliminated);
+  check Alcotest.int "one wait remains" 1 (n_waits r.Elim.prog);
+  Prog.validate r.Elim.prog
+
+let test_elim_keeps_fig1 () =
+  let p, r = elim_of fig1 in
+  check Alcotest.int "nothing eliminated" 0 (List.length r.Elim.eliminated);
+  Alcotest.(check bool) "program returned unchanged" true (r.Elim.prog == p);
+  Array.iteri
+    (fun i j -> check Alcotest.int "identity index map" i j)
+    r.Elim.index_map
+
+let test_elim_statement_level_rule_rejected () =
+  (* Same kernel as the Reduce test above: the statement-level
+     Midkiff-Padua composition would drop the d=2 pair, which is unsound
+     under instruction scheduling — the post-codegen pass must keep it
+     too. *)
+  let src =
+    "DOACROSS I = 1, 50\n S1: A[I] = E[I]\n S2: B[I] = A[I-1]\n S3: C2[I] = B[I-1] + A[I-2]\nENDDO"
+  in
+  let _, r = elim_of src in
+  check Alcotest.int "all pairs kept" 0 (List.length r.Elim.eliminated)
+
+let test_elim_chain_distances () =
+  List.iter
+    (fun src ->
+      let _, r = elim_of src in
+      let removed = List.map (fun e -> e.Elim.wait.Prog.wait) r.Elim.eliminated in
+      List.iter
+        (fun (e : Elim.elimination) ->
+          let total =
+            List.fold_left (fun acc s -> acc + s.Elim.via_distance) 0 e.Elim.chain
+          in
+          check Alcotest.int "chain distances sum to the eliminated distance"
+            e.Elim.wait.Prog.distance total;
+          List.iter
+            (fun (s : Elim.step) ->
+              Alcotest.(check bool) "hops ride surviving waits only" false
+                (List.mem s.Elim.via_wait removed))
+            e.Elim.chain)
+        r.Elim.eliminated)
+    [ "DOACROSS I = 1, 50\n A[5] = A[5] + E[I]\nENDDO"; guarded_sum ]
+
+let test_elim_index_map () =
+  let p, r = elim_of guarded_sum in
+  let dropped = Array.fold_left (fun acc j -> if j < 0 then acc + 1 else acc) 0 r.Elim.index_map in
+  check Alcotest.int "dropped count matches the body shrink" dropped
+    (Array.length p.Prog.body - Array.length r.Elim.prog.Prog.body);
+  Array.iteri
+    (fun i j ->
+      if j >= 0 then begin
+        let old_i = p.Prog.body.(i) and new_i = r.Elim.prog.Prog.body.(j) in
+        check Alcotest.bool "sync-ness preserved" (Isched_ir.Instr.is_sync old_i)
+          (Isched_ir.Instr.is_sync new_i);
+        if not (Isched_ir.Instr.is_sync old_i) then
+          Alcotest.(check bool) "non-sync instructions map unchanged" true (old_i = new_i)
+      end
+      else
+        Alcotest.(check bool) "only Send/Wait instructions drop" true
+          (Isched_ir.Instr.is_sync p.Prog.body.(i)))
+    r.Elim.index_map
+
+let test_elim_schedules_check () =
+  (* Every elimination is machine-checked: the independent static
+     analyzer plus the differential value-simulation oracle over all
+     three schedulers on the reduced program. *)
+  let _, r = elim_of guarded_sum in
+  Alcotest.(check bool) "something was eliminated" true (r.Elim.eliminated <> []);
+  let m = Isched_ir.Machine.make ~issue:4 ~nfu:1 () in
+  List.iter
+    (fun run ->
+      let s = run r.Elim.graph m in
+      (match Isched_check.Static.check ~graph:r.Elim.graph s with
+      | Ok () -> ()
+      | Error vs -> Alcotest.failf "static: %d violation(s)" (List.length vs));
+      match Isched_harness.Equivalence.check_schedule r.Elim.prog s with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "oracle: %s" (String.concat "; " es))
+    [ Isched_core.List_sched.run; Isched_core.Marker_sched.run; Isched_core.Sync_sched.run ]
+
+(* Reachability in the K-iteration unfolding of the reduced program:
+   intra-iteration edges are the reduced graph's arcs (data, memory and
+   the surviving sync-condition arcs), cross-iteration edges are the
+   surviving pairs' [Send@i -> Wait@(i+d)].  This is an independent
+   re-derivation of what the pass promises, with none of its machinery
+   shared. *)
+let unfolded_reaches (rp : Prog.t) (rg : Dfg.t) ~src ~goal ~d =
+  let n = Array.length rp.Prog.body in
+  let visited = Array.make (n * (d + 1)) false in
+  let q = Queue.create () in
+  let push node iter =
+    if iter <= d && not visited.((iter * n) + node) then begin
+      visited.((iter * n) + node) <- true;
+      Queue.push (node, iter) q
+    end
+  in
+  push src 0;
+  let found = ref false in
+  while not (Queue.is_empty q) && not !found do
+    let node, iter = Queue.pop q in
+    if node = goal && iter = d then found := true
+    else begin
+      List.iter (fun (a : Dfg.arc) -> push a.Dfg.dst iter) (Dfg.succs_list rg node);
+      Array.iter
+        (fun (k : Prog.wait_info) ->
+          if node = rp.Prog.signals.(k.Prog.signal).Prog.send_instr then
+            push k.Prog.wait_instr (iter + k.Prog.distance))
+        rp.Prog.waits
+    end
+  done;
+  !found
+
+let elim_random_closure =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40
+       ~name:"elim: eliminated orderings stay transitively derivable (unfolded graph)"
+       QCheck2.Gen.(int_range 0 100000)
+       (fun seed ->
+         let profile = { Isched_perfect.Profile.mdg with seed; n_generated = 1 } in
+         match Isched_perfect.Genloop.generate profile with
+         | [ l ] -> (
+           match Pipeline.prepare_uncached Pipeline.default_options l with
+           | Pipeline.Doall _ -> true
+           | Pipeline.Doacross { prog = p; graph = g; _ } ->
+             let r = Elim.run p g in
+             List.for_all
+               (fun (e : Elim.elimination) ->
+                 let w = e.Elim.wait in
+                 let src = r.Elim.index_map.(p.Prog.signals.(w.Prog.signal).Prog.src_instr) in
+                 src >= 0
+                 && List.for_all
+                      (fun goal ->
+                        let goal = r.Elim.index_map.(goal) in
+                        goal >= 0
+                        && unfolded_reaches r.Elim.prog r.Elim.graph ~src ~goal
+                             ~d:w.Prog.distance)
+                      (Dfg.protected_of_wait p w))
+               r.Elim.eliminated)
+         | _ -> false))
+
+let elim_random_values =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30
+       ~name:"elim: value simulation equals the sequential reference on generated loops"
+       QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 2))
+       (fun (seed, which) ->
+         let profile = { Isched_perfect.Profile.mdg with seed; n_generated = 1 } in
+         match Isched_perfect.Genloop.generate profile with
+         | [ l ] -> (
+           let l = { l with Ast.hi = l.Ast.lo + 11 } in
+           let options = { Pipeline.default_options with Pipeline.sync_elim = true } in
+           match Pipeline.prepare_uncached options l with
+           | Pipeline.Doall _ -> true
+           | Pipeline.Doacross { prog; graph; _ } ->
+             let m = Isched_ir.Machine.make ~issue:4 ~nfu:1 () in
+             let s =
+               match which with
+               | 0 -> Isched_core.List_sched.run graph m
+               | 1 -> Isched_core.Marker_sched.run graph m
+               | _ -> Isched_core.Sync_sched.run graph m
+             in
+             Isched_harness.Equivalence.check_schedule prog s = Ok ())
+         | _ -> false))
+
 (* --- Migrate --- *)
 
 let test_migrate_converts_lbd () =
@@ -183,6 +377,15 @@ let suite =
     ("eliminate: statement-level rule is rejected", `Quick, test_eliminate_statement_level_rule_rejected);
     ("eliminate: redundant_waits directly", `Quick, test_eliminate_redundant_waits_direct);
     ("eliminate: values preserved", `Quick, test_eliminate_sound_on_fig1_values);
+    ("elim: constant-cell accumulation thinned", `Quick, test_elim_constant_cell);
+    ("elim: strictly stronger than the plan-level pass", `Quick, test_elim_stronger_than_plan_level);
+    ("elim: Fig. 1 untouched, identity map", `Quick, test_elim_keeps_fig1);
+    ("elim: statement-level rule still rejected", `Quick, test_elim_statement_level_rule_rejected);
+    ("elim: chain distances sum to d, hops survive", `Quick, test_elim_chain_distances);
+    ("elim: index map is consistent", `Quick, test_elim_index_map);
+    ("elim: schedules pass static + oracle", `Quick, test_elim_schedules_check);
+    elim_random_closure;
+    elim_random_values;
     ("migrate: converts LBD to LFD when legal", `Quick, test_migrate_converts_lbd);
     ("migrate: never breaks intra-iteration deps", `Quick, test_migrate_respects_program_order);
     ("migrate: semantics preserved", `Quick, test_migrate_preserves_semantics);
