@@ -591,7 +591,8 @@ let explain_cmd =
 
 let serve_cmd =
   let module Server = Isched_serve.Server in
-  let run () socket workers queue_capacity cache_capacity cache_stripes validate sync_elim =
+  let run () socket workers queue_capacity cache_capacity cache_stripes validate sync_elim slow_ms
+      metrics_file metrics_interval =
     let config =
       {
         Server.socket_path = socket;
@@ -601,6 +602,9 @@ let serve_cmd =
         cache_stripes;
         validate;
         sync_elim;
+        slow_ms;
+        metrics_file;
+        metrics_interval;
       }
     in
     let server =
@@ -651,15 +655,187 @@ let serve_cmd =
                  do not carry a sync_elim member (the resolved setting is part of the \
                  schedule-cache key).")
   in
+  let slow_ms =
+    Arg.(value & opt float 100. & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Requests slower than $(docv) milliseconds (decode through socket write) are \
+                 promoted to the retained slow-log visible in ischedc top and the stats \
+                 request (default 100).")
+  in
+  let metrics_file =
+    Arg.(value & opt (some string) None & info [ "metrics-file" ] ~docv:"PATH"
+           ~doc:"Periodically dump the Prometheus text exposition to $(docv) \
+                 (write-temp-then-rename, safe to scrape at any moment).")
+  in
+  let metrics_interval =
+    Arg.(value & opt float 5. & info [ "metrics-interval" ] ~docv:"S"
+           ~doc:"Seconds between --metrics-file dumps (default 5).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the scheduling service: a daemon answering length-prefixed JSON requests \
-             (schedule source text or named corpus loops, stats, ping) over a Unix-domain \
-             socket, with a digest-keyed LRU schedule cache, bounded-queue backpressure and \
-             graceful SIGTERM drain.  Protocol: doc/serving.md.")
+             (schedule source text or named corpus loops, stats, metrics, ping) over a \
+             Unix-domain socket, with a digest-keyed LRU schedule cache, bounded-queue \
+             backpressure, per-request stage telemetry and graceful SIGTERM drain.  \
+             Protocol: doc/serving.md.")
     Term.(
       const run $ obs_term $ socket $ workers $ queue $ cache_capacity $ cache_stripes $ validate
-      $ sync_elim)
+      $ sync_elim $ slow_ms $ metrics_file $ metrics_interval)
+
+(* --- top --- *)
+
+let top_cmd =
+  let module Client = Isched_serve.Client in
+  let module Protocol = Isched_serve.Protocol in
+  let module Json = Isched_obs.Json in
+  let mem path v = List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some v) path in
+  let f path v = Option.value ~default:0. (Option.bind (mem path v) Json.to_float) in
+  (* Windowed hit ratio when the cache saw traffic this window, the
+     since-boot counters otherwise (a freshly idle daemon still reports
+     something meaningful). *)
+  let hit_ratio stats =
+    if f [ "cache_window"; "count" ] stats > 0. then
+      1. -. f [ "cache_window"; "flagged_ratio" ] stats
+    else
+      let h = f [ "counters"; "serve.cache.hit" ] stats
+      and m = f [ "counters"; "serve.cache.miss" ] stats in
+      if h +. m > 0. then h /. (h +. m) else 0.
+  in
+  let summary_json stats =
+    let n path = Json.Num (f path stats) in
+    let ms path = Json.Num (f path stats /. 1e6) in
+    Json.Obj
+      [
+        ("requests", n [ "requests" ]);
+        ("rps", n [ "window"; "rate" ]);
+        ("p50_ms", ms [ "window"; "p50_ns" ]);
+        ("p99_ms", ms [ "window"; "p99_ns" ]);
+        ("p999_ms", ms [ "window"; "p999_ns" ]);
+        ("error_rate", n [ "window"; "flagged_ratio" ]);
+        ("window_count", n [ "window"; "count" ]);
+        ("hit_ratio", Json.Num (hit_ratio stats));
+        ("cache_entries", n [ "cache"; "entries" ]);
+        ("cache_capacity", n [ "cache"; "capacity" ]);
+        ("queue_depth", n [ "queue"; "depth" ]);
+        ("queue_hwm", n [ "queue"; "hwm" ]);
+        ("workers_busy", n [ "workers"; "busy" ]);
+        ("workers_total", n [ "workers"; "total" ]);
+        ( "sync_elim",
+          Json.Obj
+            [
+              ("waits_removed", n [ "counters"; "sync.elim.waits_removed" ]);
+              ("sends_removed", n [ "counters"; "sync.elim.sends_removed" ]);
+            ] );
+        ("slow", Option.value ~default:(Json.Arr []) (mem [ "slow"; "entries" ] stats));
+      ]
+  in
+  let render_screen socket stats =
+    let b = Buffer.create 1024 in
+    let pct x = 100. *. x in
+    Printf.bprintf b "ischedc top — %s\n\n" socket;
+    Printf.bprintf b "requests  %-10.0f rps %8.1f    errors %5.2f%%\n" (f [ "requests" ] stats)
+      (f [ "window"; "rate" ] stats)
+      (pct (f [ "window"; "flagged_ratio" ] stats));
+    Printf.bprintf b "window    p50 %8.3f ms   p99 %8.3f ms   p999 %8.3f ms   (n=%.0f / %.0f s)\n"
+      (f [ "window"; "p50_ns" ] stats /. 1e6)
+      (f [ "window"; "p99_ns" ] stats /. 1e6)
+      (f [ "window"; "p999_ns" ] stats /. 1e6)
+      (f [ "window"; "count" ] stats)
+      (f [ "window"; "window_ns" ] stats /. 1e9);
+    Printf.bprintf b "cache     hit %5.1f%%   entries %.0f/%.0f   probe p99 %.3f ms\n"
+      (pct (hit_ratio stats))
+      (f [ "cache"; "entries" ] stats)
+      (f [ "cache"; "capacity" ] stats)
+      (f [ "cache_window"; "p99_ns" ] stats /. 1e6);
+    Printf.bprintf b "queue     depth %.0f/%.0f   hwm %.0f        workers %.0f/%.0f busy\n"
+      (f [ "queue"; "depth" ] stats)
+      (f [ "queue"; "capacity" ] stats)
+      (f [ "queue"; "hwm" ] stats)
+      (f [ "workers"; "busy" ] stats)
+      (f [ "workers"; "total" ] stats);
+    Printf.bprintf b "sync-elim waits_removed %.0f   sends_removed %.0f\n"
+      (f [ "counters"; "sync.elim.waits_removed" ] stats)
+      (f [ "counters"; "sync.elim.sends_removed" ] stats);
+    let slow = Option.bind (mem [ "slow"; "entries" ] stats) Json.to_list in
+    Printf.bprintf b "\nslow requests (>= %.0f ms): %d retained\n"
+      (f [ "slow"; "threshold_ms" ] stats)
+      (match slow with Some l -> List.length l | None -> 0);
+    (match slow with
+    | None | Some [] -> ()
+    | Some entries ->
+      List.iteri
+        (fun i e ->
+          if i < 8 then
+            Printf.bprintf b "  id %-8.0f %9.3f ms  %-9s %-6s compute %.3f ms\n" (f [ "id" ] e)
+              (f [ "total_ns" ] e /. 1e6)
+              (Option.value ~default:"?" (Option.bind (Json.member "verdict" e) Json.to_str))
+              (Option.value ~default:"" (Option.bind (Json.member "scheduler" e) Json.to_str))
+              (f [ "stages"; "compute" ] e /. 1e6))
+        entries);
+    Buffer.contents b
+  in
+  let run () socket interval once json metrics =
+    let fail msg =
+      prerr_endline ("ischedc top: " ^ msg);
+      exit 1
+    in
+    (match Client.with_connection socket (fun client ->
+         let rec tick () =
+           (if metrics then
+              match Client.request client Protocol.Metrics with
+              | Ok (Protocol.Metrics_reply e) -> print_string e
+              | Ok (Protocol.Error { message; _ }) -> fail message
+              | Ok _ -> fail "unexpected response to metrics"
+              | Error m -> fail m
+            else
+              match Client.request client Protocol.Stats with
+              | Ok (Protocol.Stats_reply stats) ->
+                if json then print_endline (Json.to_string (summary_json stats))
+                else begin
+                  (* Home + clear: repaint in place without scrollback spam. *)
+                  print_string "\027[H\027[2J";
+                  print_string (render_screen socket stats)
+                end
+              | Ok (Protocol.Error { message; _ }) -> fail message
+              | Ok _ -> fail "unexpected response to stats"
+              | Error m -> fail m);
+           flush stdout;
+           if not once then begin
+             Unix.sleepf interval;
+             tick ()
+           end
+         in
+         tick ())
+     with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      fail (Printf.sprintf "cannot reach %s: %s" socket (Unix.error_message e)))
+  in
+  let socket =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET"
+           ~doc:"Unix-domain socket of the daemon to watch.")
+  in
+  let interval =
+    Arg.(value & opt float 2. & info [ "interval" ] ~docv:"S"
+           ~doc:"Seconds between refreshes (default 2).")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ] ~doc:"Render one sample and exit (for scripting).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print one compact JSON summary per sample instead of the ANSI dashboard \
+                 (combine with --once for scripting).")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Print the raw Prometheus text exposition instead of the dashboard.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live monitor for a running ischedc serve daemon: req/s, windowed latency \
+             quantiles, cache hit ratio, queue depth, worker utilisation, sync-elim counters \
+             and the slow-request log, polled over the stats/metrics protocol verbs.")
+    Term.(const run $ obs_term $ socket $ interval $ once $ json $ metrics)
 
 (* --- example --- *)
 
@@ -752,5 +928,5 @@ let () =
        (Cmd.group ~default info
           [
             compile_cmd; deps_cmd; dfg_cmd; sched_cmd; sim_cmd; check_cmd; asm_cmd; viz_cmd;
-            explain_cmd; example_cmd; tables_cmd; ablations_cmd; serve_cmd;
+            explain_cmd; example_cmd; tables_cmd; ablations_cmd; serve_cmd; top_cmd;
           ]))

@@ -145,7 +145,10 @@ let entry_of = function C c -> Counter (value c) | D d -> Dist (dist_stats d)
 let snapshot () =
   Mutex.protect lock (fun () ->
       Hashtbl.fold (fun name item acc -> (name, entry_of item) :: acc) registry [])
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  (* Byte-lexicographic explicitly: renders and the Prometheus
+     exposition must be deterministic however the 8-way shard merge
+     interleaves registrations. *)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let find name =
   Mutex.protect lock (fun () -> Hashtbl.find_opt registry name) |> Option.map entry_of
@@ -178,6 +181,48 @@ let render () =
             (Printf.sprintf "%-40s count=%d sum=%d min=%d max=%d mean=%.2f\n" name s.count s.sum
                s.min_v s.max_v
                (float_of_int s.sum /. float_of_int s.count)))
+    (snapshot ());
+  Buffer.contents b
+
+(* Prometheus metric names admit [a-zA-Z0-9_:]; we map every other
+   byte of the dotted internal name to '_' under an "isched_" prefix,
+   e.g. [serve.cache.hits] -> [isched_serve_cache_hits] (the full table
+   lives in doc/observability.md). *)
+let prometheus_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "isched_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let render_prometheus () =
+  let b = Buffer.create 2048 in
+  List.iter
+    (fun (name, e) ->
+      let m = prometheus_name name in
+      match e with
+      | Counter v -> Printf.bprintf b "# TYPE %s counter\n%s %d\n" m m v
+      | Dist s ->
+        Printf.bprintf b "# TYPE %s histogram\n" m;
+        let cum = ref 0 in
+        List.iter
+          (fun (repr, c) ->
+            (* repr 64 is the open-ended >= 64 bucket: it has no finite
+               upper bound, so it only contributes to +Inf. *)
+            if repr < 64 then begin
+              cum := !cum + c;
+              Printf.bprintf b "%s_bucket{le=\"%d\"} %d\n" m repr !cum
+            end)
+          s.buckets;
+        (* Concurrent updates can leave the snapshot's count a hair off
+           the bucket sum; clamp so the +Inf bucket stays monotone. *)
+        Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" m (max !cum s.count);
+        Printf.bprintf b "%s_sum %d\n" m s.sum;
+        Printf.bprintf b "%s_count %d\n" m (max !cum s.count))
     (snapshot ());
   Buffer.contents b
 

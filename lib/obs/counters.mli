@@ -69,6 +69,21 @@ val enabled : unit -> bool
     line, for the [--counters] CLI flags. *)
 val render : unit -> string
 
+(** [prometheus_name name] — [name] mangled to a valid Prometheus
+    metric name: an [isched_] prefix, then every byte outside
+    [a-zA-Z0-9] mapped to ['_'] (so [serve.cache.hits] becomes
+    [isched_serve_cache_hits]). *)
+val prometheus_name : string -> string
+
+(** [render_prometheus ()] — {!snapshot} in the Prometheus text
+    exposition format: counters as [# TYPE … counter] singles,
+    distributions as [# TYPE … histogram] with cumulative
+    [_bucket{le="…"}] lines built from the fixed bucket scheme
+    (negatives under [le="-1"], exact values [0..63], the [>= 64]
+    overflow only in [+Inf]), plus [_sum] and [_count].  Deterministic:
+    entries come out byte-lexicographically sorted by name. *)
+val render_prometheus : unit -> string
+
 (** [to_json ()] — {!snapshot} as one JSON object: counters as numbers,
     distributions as [{"count","sum","min","max","buckets"}] objects,
     where ["buckets"] lists the non-empty histogram buckets as

@@ -1,0 +1,130 @@
+type cache_verdict = Hit | Miss | Coalesced | Uncached
+
+let verdict_name = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Coalesced -> "coalesced"
+  | Uncached -> "uncached"
+
+type stage = Read | Decode | Cache_probe | Compute | Validate | Encode | Write
+
+let n_stages = 7
+
+let stage_index = function
+  | Read -> 0
+  | Decode -> 1
+  | Cache_probe -> 2
+  | Compute -> 3
+  | Validate -> 4
+  | Encode -> 5
+  | Write -> 6
+
+let stage_name = function
+  | Read -> "read"
+  | Decode -> "decode"
+  | Cache_probe -> "cache_probe"
+  | Compute -> "compute"
+  | Validate -> "validate"
+  | Encode -> "encode"
+  | Write -> "write"
+
+let all_stages = [ Read; Decode; Cache_probe; Compute; Validate; Encode; Write ]
+
+type entry = {
+  id : int;
+  start_ns : int;
+  stage_ns : int array;
+  total_ns : int;
+  verdict : cache_verdict;
+  digest : int;
+  scheduler : string;
+  sync_elim : bool;
+  error : string option;
+}
+
+(* A ring is an array of independently published slots plus a claim
+   cursor.  A writer claims a position with one fetch-and-add and then
+   stores the (immutable) entry into its slot — two slots never alias
+   for concurrent writers within a lap, so entries are never torn and
+   distinct ids never merge.  A reader may observe the previous lap's
+   entry in a slot that has been claimed but not yet stored; that is a
+   stale-but-consistent view, which is all a diagnostic log needs. *)
+type ring = { slots : entry option Atomic.t array; cursor : int Atomic.t }
+
+let make_ring n =
+  if n < 1 then invalid_arg "Reqlog: capacity must be >= 1";
+  { slots = Array.init n (fun _ -> Atomic.make None); cursor = Atomic.make 0 }
+
+(* The outer [Atomic.t] lets [set_capacity] swap a whole fresh ring in
+   one store, so writers racing a resize land in one ring or the other
+   but never index out of bounds. *)
+let main_ring = Atomic.make (make_ring 1024)
+let slow_ring = Atomic.make (make_ring 64)
+let slow_threshold = Atomic.make 100_000_000 (* 100 ms *)
+let accepted = Atomic.make 0
+
+let push cell e =
+  let r = Atomic.get cell in
+  let pos = Atomic.fetch_and_add r.cursor 1 in
+  Atomic.set r.slots.(pos mod Array.length r.slots) (Some e)
+
+let record e =
+  if Counters.enabled () then begin
+    Atomic.incr accepted;
+    push main_ring e;
+    if e.total_ns >= Atomic.get slow_threshold then push slow_ring e
+  end
+
+let recorded () = Atomic.get accepted
+
+let entries cell limit =
+  let r = Atomic.get cell in
+  let acc = ref [] in
+  Array.iter
+    (fun slot -> match Atomic.get slot with Some e -> acc := e :: !acc | None -> ())
+    r.slots;
+  let sorted = List.sort (fun a b -> Int.compare b.id a.id) !acc in
+  match limit with
+  | None -> sorted
+  | Some n -> List.filteri (fun i _ -> i < n) sorted
+
+let recent ?limit () = entries main_ring limit
+let slow ?limit () = entries slow_ring limit
+let set_capacity n = Atomic.set main_ring (make_ring n)
+let set_slow_capacity n = Atomic.set slow_ring (make_ring n)
+
+let set_slow_threshold_ns n =
+  if n < 0 then invalid_arg "Reqlog.set_slow_threshold_ns: threshold must be >= 0";
+  Atomic.set slow_threshold n
+
+let slow_threshold_ns () = Atomic.get slow_threshold
+
+let clear cell = Atomic.set cell (make_ring (Array.length (Atomic.get cell).slots))
+
+let reset () =
+  clear main_ring;
+  clear slow_ring;
+  Atomic.set accepted 0
+
+(* Epoch nanoseconds overflow the float integer range that [Json.Num]
+   prints exactly, so the start time is rendered as epoch milliseconds
+   (exact in a float until the year 287396). *)
+let entry_value e =
+  let num n = Json.Num (float_of_int n) in
+  let stages =
+    List.map (fun s -> (stage_name s, num e.stage_ns.(stage_index s))) all_stages
+  in
+  Json.Obj
+    ([
+       ("id", num e.id);
+       ("start_ms", num (e.start_ns / 1_000_000));
+       ("total_ns", num e.total_ns);
+       ("verdict", Json.Str (verdict_name e.verdict));
+       ("digest", num e.digest);
+       ("scheduler", Json.Str e.scheduler);
+       ("sync_elim", Json.Bool e.sync_elim);
+       ("stages", Json.Obj stages);
+     ]
+    @ match e.error with None -> [] | Some c -> [ ("error", Json.Str c) ])
+
+let entry_json e = Json.to_string (entry_value e)

@@ -1,0 +1,98 @@
+(** Bounded ring of per-request stage traces for the serving path.
+
+    Every request the daemon answers over a socket gets one {!entry}: a
+    monotonically increasing request id, a wall-clock start, a
+    per-stage duration vector (the seven stages of the serve path, in
+    {!stage} order), the schedule-cache verdict and the request's
+    scheduling coordinates.  The newest [capacity] entries are retained
+    lock-free — writers claim a slot with one fetch-and-add and publish
+    the immutable entry with one atomic store, so the ring never blocks
+    the request path and never loses or duplicates an id within its
+    window (the 8-domain hammer test pins this).
+
+    Entries whose [total_ns] is at or above the slow threshold
+    ({!set_slow_threshold_ns}, the daemon's [--slow-ms]) are {e also}
+    retained in a separate slow-log ring, so one pathological request
+    survives long after the main ring has churned past it.
+
+    Recording is gated on {!Counters.enabled}: with counters off the
+    whole record path is one atomic read (the same inertness contract
+    as provenance and spans, pinned by a test).
+
+    The store is process-global, like {!Span}, {!Counters} and
+    {!Provenance}; {!reset} isolates tests. *)
+
+type cache_verdict =
+  | Hit  (** every loop of the request came from the schedule cache *)
+  | Miss  (** at least one loop was computed fresh *)
+  | Coalesced
+      (** no fresh compute, but at least one loop waited on another
+          request's in-flight compute *)
+  | Uncached  (** no cache involved (ping, stats, metrics, errors) *)
+
+val verdict_name : cache_verdict -> string
+
+type stage = Read | Decode | Cache_probe | Compute | Validate | Encode | Write
+
+val n_stages : int
+val stage_index : stage -> int
+
+(** [stage_name s] — the JSON member name: [read], [decode],
+    [cache_probe], [compute], [validate], [encode], [write]. *)
+val stage_name : stage -> string
+
+type entry = {
+  id : int;  (** the daemon's monotonically increasing request id *)
+  start_ns : int;  (** Unix epoch, nanoseconds, at frame completion *)
+  stage_ns : int array;  (** length {!n_stages}, {!stage_index} order *)
+  total_ns : int;
+      (** decode through socket write; the frame-read stage is excluded
+          because on an idle keep-alive connection it is dominated by
+          waiting for the client *)
+  verdict : cache_verdict;
+  digest : int;  (** structural digest of the first loop; 0 when none *)
+  scheduler : string;  (** [list] / [marker] / [new]; [""] when none *)
+  sync_elim : bool;
+  error : string option;  (** the structured error code, when any *)
+}
+
+(** [record e] — append to the ring (and to the slow-log when
+    [e.total_ns] is at or above the threshold); a no-op but for one
+    atomic read when {!Counters.enabled} is false. *)
+val record : entry -> unit
+
+(** [recorded ()] — total entries accepted since the last {!reset}. *)
+val recorded : unit -> int
+
+(** [recent ?limit ()] — the retained entries, newest first (at most
+    [limit], default the whole ring). *)
+val recent : ?limit:int -> unit -> entry list
+
+(** [slow ?limit ()] — the retained slow entries, newest first. *)
+val slow : ?limit:int -> unit -> entry list
+
+(** [set_capacity n] / [set_slow_capacity n] — resize (and clear) the
+    rings; defaults 1024 and 64.  Raise [Invalid_argument] when
+    [n < 1]. *)
+
+val set_capacity : int -> unit
+val set_slow_capacity : int -> unit
+
+(** [set_slow_threshold_ns n] — entries at or above [n] are promoted to
+    the slow-log (default 100 ms). *)
+val set_slow_threshold_ns : int -> unit
+
+val slow_threshold_ns : unit -> int
+
+(** [reset ()] clears both rings and the accepted count (capacities and
+    threshold stand). *)
+val reset : unit -> unit
+
+(** [entry_value e] / [entry_json e] — the JSON rendering documented in
+    doc/observability.md: scalar members plus a ["stages"] object keyed
+    by {!stage_name}; ["error"] omitted when [None].  The start time is
+    exposed as ["start_ms"] (epoch milliseconds) because epoch
+    nanoseconds exceed the float-exact integer range. *)
+
+val entry_value : entry -> Json.value
+val entry_json : entry -> string

@@ -76,7 +76,7 @@ let enforce_cap s cap =
     s.items <- List.rev kept
   end
 
-let rec find_or_compute c k f =
+let rec find_or_compute_v c k f =
   let s = stripe_for c k in
   Mutex.lock s.lock;
   match find_node c s k with
@@ -86,7 +86,7 @@ let rec find_or_compute c k f =
       touch s node;
       Mutex.unlock s.lock;
       Counters.incr c_hit;
-      (v, true)
+      (v, `Hit)
     | Computing ->
       (* Another domain is computing this key: wait for it to finish
          (or fail), then retry the lookup from scratch. *)
@@ -99,12 +99,12 @@ let rec find_or_compute c k f =
           touch s node;
           Mutex.unlock s.lock;
           Counters.incr c_hit;
-          (v, true)
+          (v, `Coalesced)
         | None ->
           (* The compute failed and the placeholder was removed: become
              a computer ourselves. *)
           Mutex.unlock s.lock;
-          find_or_compute c k f
+          find_or_compute_v c k f
       in
       wait ())
   | None -> (
@@ -120,7 +120,7 @@ let rec find_or_compute c k f =
       enforce_cap s c.stripe_cap;
       Condition.broadcast s.cond;
       Mutex.unlock s.lock;
-      (v, false)
+      (v, `Miss)
     | exception e ->
       let bt = Printexc.get_raw_backtrace () in
       Mutex.lock s.lock;
@@ -128,6 +128,11 @@ let rec find_or_compute c k f =
       Condition.broadcast s.cond;
       Mutex.unlock s.lock;
       Printexc.raise_with_backtrace e bt)
+
+let find_or_compute c k f =
+  match find_or_compute_v c k f with
+  | v, `Miss -> (v, false)
+  | v, (`Hit | `Coalesced) -> (v, true)
 
 let find c k =
   let s = stripe_for c k in
@@ -161,6 +166,13 @@ let length c =
           acc
           + List.fold_left (fun a n -> match n.state with Ready _ -> a + 1 | _ -> a) 0 s.items))
     0 c.stripes
+
+let stripe_lengths c =
+  Array.map
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          List.fold_left (fun a n -> match n.state with Ready _ -> a + 1 | _ -> a) 0 s.items))
+    c.stripes
 
 let clear c =
   Array.iter

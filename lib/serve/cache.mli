@@ -36,6 +36,14 @@ val create :
     without any cache lock held. *)
 val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v * bool
 
+(** [find_or_compute_v c k f] — like {!find_or_compute} but with the
+    full verdict: [`Hit] (value was ready), [`Coalesced] (waited on
+    another domain's in-flight compute), [`Miss] (this caller ran [f]).
+    A waiter whose computer failed retries and reports the retried
+    outcome. *)
+val find_or_compute_v :
+  ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v * [ `Hit | `Miss | `Coalesced ]
+
 (** [find c k] — a plain probe, counting and touching like a hit;
     [None] also when the key is currently being computed. *)
 val find : ('k, 'v) t -> 'k -> 'v option
@@ -54,6 +62,11 @@ val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
 val length : ('k, 'v) t -> int
 
 val capacity : ('k, 'v) t -> int
+
+(** [stripe_lengths c] — ready entries per stripe, in stripe index
+    order (the per-stripe occupancy surfaced by the daemon's [Stats]
+    and [Metrics] replies). *)
+val stripe_lengths : ('k, 'v) t -> int array
 
 (** [clear c] drops every ready entry (in-flight computes survive). *)
 val clear : ('k, 'v) t -> unit

@@ -11,6 +11,7 @@ type source = Text of string | Corpus_loop of string
 type request =
   | Ping
   | Stats
+  | Metrics
   | Schedule of {
       source : source;
       scheduler : scheduler;
@@ -72,6 +73,7 @@ let error_code_of_name = function
 type response =
   | Pong
   | Stats_reply of Json.value
+  | Metrics_reply of string
   | Scheduled of { cache_hit : bool; loops : loop_reply list }
   | Error of { code : error_code; message : string }
 
@@ -94,6 +96,7 @@ let num i = Json.Num (float_of_int i)
 let request_to_json = function
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Metrics -> Json.Obj [ ("op", Json.Str "metrics") ]
   | Schedule { source; scheduler; issue; nfu; n_iters; sync_elim; explain } ->
     let src =
       match source with
@@ -124,6 +127,8 @@ let response_to_json = function
   | Pong -> Json.Obj [ ("status", Json.Str "ok"); ("op", Json.Str "ping") ]
   | Stats_reply v ->
     Json.Obj [ ("status", Json.Str "ok"); ("op", Json.Str "stats"); ("stats", v) ]
+  | Metrics_reply e ->
+    Json.Obj [ ("status", Json.Str "ok"); ("op", Json.Str "metrics"); ("exposition", Json.Str e) ]
   | Scheduled { cache_hit; loops } ->
     Json.Obj
       [ ("status", Json.Str "ok"); ("op", Json.Str "schedule");
@@ -198,6 +203,7 @@ let request_of_json v =
     match op with
     | "ping" -> Ok Ping
     | "stats" -> Ok Stats
+    | "metrics" -> Ok Metrics
     | "schedule" ->
       let* () = check_members schedule_members v in
       let* source =
@@ -299,6 +305,9 @@ let response_of_json v =
         match Json.member "stats" v with
         | Some s -> Ok (Stats_reply s)
         | None -> bad "missing \"stats\"")
+      | "metrics" ->
+        let* exposition = get_str "exposition" v in
+        Ok (Metrics_reply exposition)
       | "schedule" ->
         let* cache = get_str "cache" v in
         let* cache_hit =

@@ -24,6 +24,9 @@ val max_frame : int
 
 type scheduler = Sched_list | Sched_marker | Sched_new
 
+(** [scheduler_name s] — the wire name: [list], [marker] or [new]. *)
+val scheduler_name : scheduler -> string
+
 type source =
   | Text of string  (** mini-Fortran source; may contain several loops *)
   | Corpus_loop of string
@@ -33,6 +36,10 @@ type source =
 type request =
   | Ping
   | Stats  (** counters snapshot + cache occupancy *)
+  | Metrics
+      (** the Prometheus text exposition (see doc/observability.md);
+          what [ischedc top --metrics] and the [--metrics-file] dumps
+          print *)
   | Schedule of {
       source : source;
       scheduler : scheduler;
@@ -92,6 +99,9 @@ val error_code_name : error_code -> string
 type response =
   | Pong
   | Stats_reply of Json.value
+  | Metrics_reply of string
+      (** the Prometheus text exposition, verbatim (newline-separated
+          [# TYPE]/sample lines) *)
   | Scheduled of { cache_hit : bool; loops : loop_reply list }
       (** [cache_hit] iff every loop of the request was served from the
           schedule cache *)

@@ -8,11 +8,14 @@ module Lbd_model = Isched_core.Lbd_model
 module Pipeline = Isched_harness.Pipeline
 module Json = Isched_obs.Json
 module Counters = Isched_obs.Counters
+module Rolling = Isched_obs.Rolling
+module Reqlog = Isched_obs.Reqlog
 
 let c_requests = Counters.counter "serve.requests"
 let c_errors = Counters.counter "serve.errors"
 let c_overloaded = Counters.counter "serve.overloaded"
 let c_connections = Counters.counter "serve.connections"
+let c_slow = Counters.counter "serve.slow_requests"
 let d_queue_depth = Counters.dist "serve.queue_depth"
 
 type config = {
@@ -23,6 +26,9 @@ type config = {
   cache_stripes : int;
   validate : bool;
   sync_elim : bool;
+  slow_ms : float;
+  metrics_file : string option;
+  metrics_interval : float;
 }
 
 let default_config ~socket_path =
@@ -34,6 +40,9 @@ let default_config ~socket_path =
     cache_stripes = 16;
     validate = false;
     sync_elim = false;
+    slow_ms = 100.;
+    metrics_file = None;
+    metrics_interval = 5.;
   }
 
 (* --- the schedule cache --- *)
@@ -89,11 +98,18 @@ type t = {
   qlock : Mutex.t;
   qcond : Condition.t;
   queue : Unix.file_descr Queue.t;
+  queue_hwm : int Atomic.t;
+  busy_workers : int Atomic.t;
+  req_rolling : Rolling.t;  (* per-request latency, flagged = error *)
+  cache_rolling : Rolling.t;  (* per-loop probe latency, flagged = miss *)
+  last_dump : float Atomic.t;  (* Unix time of the last --metrics-file write *)
 }
 
 let create config =
   if config.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
   if config.queue_capacity < 0 then invalid_arg "Server.create: queue_capacity must be >= 0";
+  if config.slow_ms < 0. then invalid_arg "Server.create: slow_ms must be >= 0";
+  Reqlog.set_slow_threshold_ns (int_of_float (config.slow_ms *. 1e6));
   {
     config;
     cache =
@@ -105,6 +121,11 @@ let create config =
     qlock = Mutex.create ();
     qcond = Condition.create ();
     queue = Queue.create ();
+    queue_hwm = Atomic.make 0;
+    busy_workers = Atomic.make 0;
+    req_rolling = Rolling.create ();
+    cache_rolling = Rolling.create ();
+    last_dump = Atomic.make 0.;
   }
 
 let config t = t.config
@@ -122,6 +143,59 @@ let corrupt_cached_schedules t =
         incr n;
         Array.fill s.Schedule.cycle_of 0 (Array.length s.Schedule.cycle_of) 0);
   !n
+
+(* --- request tracing --- *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* The per-request trace accumulator, allocated once per traced request
+   (only when counters are enabled; the disabled path allocates
+   nothing).  Stage durations accumulate so a multi-loop request sums
+   its per-loop probe and compute times. *)
+type trace = {
+  stage_ns : int array;  (* Reqlog.n_stages, Reqlog.stage_index order *)
+  mutable tr_verdict : Reqlog.cache_verdict;
+  mutable tr_digest : int;
+  mutable tr_scheduler : string;
+  mutable tr_sync_elim : bool;
+  mutable tr_error : string option;
+}
+
+let fresh_trace ~read_ns =
+  let stage_ns = Array.make Reqlog.n_stages 0 in
+  stage_ns.(Reqlog.stage_index Reqlog.Read) <- max read_ns 0;
+  {
+    stage_ns;
+    tr_verdict = Reqlog.Uncached;
+    tr_digest = 0;
+    tr_scheduler = "";
+    tr_sync_elim = false;
+    tr_error = None;
+  }
+
+let stage_add tr stage ns = tr.stage_ns.(Reqlog.stage_index stage) <- tr.stage_ns.(Reqlog.stage_index stage) + max ns 0
+
+(* The request's latency is decode through socket write: the frame-read
+   stage is recorded in the stage vector but excluded from the total,
+   because on an idle keep-alive connection it is dominated by waiting
+   for the client to speak. *)
+let finish_trace t tr ~id ~start_ns ~end_ns =
+  let total_ns = max (end_ns - start_ns) 0 in
+  Reqlog.record
+    {
+      Reqlog.id;
+      start_ns;
+      stage_ns = tr.stage_ns;
+      total_ns;
+      verdict = tr.tr_verdict;
+      digest = tr.tr_digest;
+      scheduler = tr.tr_scheduler;
+      sync_elim = tr.tr_sync_elim;
+      error = tr.tr_error;
+    };
+  if total_ns >= Reqlog.slow_threshold_ns () then Counters.incr c_slow;
+  Rolling.observe t.req_rolling ~now_ns:end_ns ~latency_ns:total_ns
+    ~flagged:(Option.is_some tr.tr_error)
 
 (* --- request handling --- *)
 
@@ -195,7 +269,7 @@ let explain_payload t ~options ~which (l : Ast.loop) machine =
    payload (the warm path, which splices cached renderings). *)
 type outcome = Response of Protocol.response | Encoded of string
 
-let handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~sync_elim ~explain =
+let handle_schedule t ?trace ~source ~scheduler ~issue ~nfu ~n_iters ~sync_elim ~explain () =
   let machine = Machine.make ~issue ~nfu () in
   match Machine.validate machine with
   | exception Invalid_argument m ->
@@ -207,6 +281,35 @@ let handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~sync_elim ~explai
       let sync_elim = Option.value sync_elim ~default:t.config.sync_elim in
       let options = { Pipeline.default_options with n_iters; sync_elim } in
       let which = pipeline_scheduler scheduler in
+      (match trace with
+      | None -> ()
+      | Some tr ->
+        tr.tr_digest <- (match loops with l :: _ -> l.Ast.digest | [] -> 0);
+        tr.tr_scheduler <- Protocol.scheduler_name scheduler;
+        tr.tr_sync_elim <- sync_elim);
+      let probe l key =
+        match trace with
+        | None -> Cache.find_or_compute_v t.cache key (fun () -> compute_loop ~options ~machine ~which l)
+        | Some tr ->
+          (* Probe time is the find_or_compute wall clock minus the
+             compute closure's own time; a coalesced waiter's wait
+             therefore lands in the probe stage. *)
+          let t0 = now_ns () in
+          let compute_ns = ref 0 in
+          let cached, verdict =
+            Cache.find_or_compute_v t.cache key (fun () ->
+                let c0 = now_ns () in
+                let r = compute_loop ~options ~machine ~which l in
+                compute_ns := now_ns () - c0;
+                r)
+          in
+          let t1 = now_ns () in
+          stage_add tr Reqlog.Cache_probe (t1 - t0 - !compute_ns);
+          stage_add tr Reqlog.Compute !compute_ns;
+          Rolling.observe t.cache_rolling ~now_ns:t1 ~latency_ns:(t1 - t0)
+            ~flagged:(verdict = `Miss);
+          (cached, verdict)
+      in
       let served =
         List.map
           (fun (l : Ast.loop) ->
@@ -221,16 +324,22 @@ let handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~sync_elim ~explai
                 k_sync_elim = sync_elim;
               }
             in
-            let cached, hit =
-              Cache.find_or_compute t.cache key (fun () -> compute_loop ~options ~machine ~which l)
-            in
-            (key, l, cached, hit))
+            let cached, verdict = probe l key in
+            (key, l, cached, verdict))
           loops
       in
+      (match trace with
+      | None -> ()
+      | Some tr ->
+        tr.tr_verdict <-
+          (if List.exists (fun (_, _, _, v) -> v = `Miss) served then Reqlog.Miss
+           else if List.exists (fun (_, _, _, v) -> v = `Coalesced) served then Reqlog.Coalesced
+           else Reqlog.Hit));
       (* Under --validate every response — cache hit or fresh — is
          re-derived through the independent static analyzer before it
          leaves the process.  A failing entry is evicted (the next
          request recomputes it) and reported, never served. *)
+      let t_validate = match trace with Some _ when t.config.validate -> now_ns () | _ -> 0 in
       let invalid =
         if not t.config.validate then None
         else
@@ -248,11 +357,14 @@ let handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~sync_elim ~explai
                        (Isched_check.Static.errors_to_string l.Ast.name vs))))
             served
       in
+      (match trace with
+      | Some tr when t.config.validate -> stage_add tr Reqlog.Validate (now_ns () - t_validate)
+      | _ -> ());
       match invalid with
       | Some diagnostics ->
         Response (Protocol.Error { code = Protocol.Invalid_schedule; message = diagnostics })
       | None ->
-        let cache_hit = List.for_all (fun (_, _, _, hit) -> hit) served in
+        let cache_hit = List.for_all (fun (_, _, _, v) -> v <> `Miss) served in
         if explain then
           let loops_replies =
             List.map
@@ -266,52 +378,131 @@ let handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~sync_elim ~explai
               served
           in
           Response (Protocol.Scheduled { cache_hit; loops = loops_replies })
-        else
+        else begin
           (* The warm path: the cached entries carry their canonical
              rendering, so the response is string splicing — no JSON
              tree is rebuilt per request. *)
-          Encoded
-            (Protocol.encode_scheduled ~cache_hit
-               (List.map (fun (_, _, c, _) -> c.rendered) served))))
+          let t_enc = match trace with Some _ -> now_ns () | None -> 0 in
+          let s =
+            Protocol.encode_scheduled ~cache_hit (List.map (fun (_, _, c, _) -> c.rendered) served)
+          in
+          (match trace with
+          | Some tr -> stage_add tr Reqlog.Encode (now_ns () - t_enc)
+          | None -> ());
+          Encoded s
+        end))
 
-let handle_inner t = function
+(* --- stats & metrics --- *)
+
+let rolling_value (s : Rolling.stats) =
+  let num i = Json.Num (float_of_int i) in
+  Json.Obj
+    [
+      ("count", num s.Rolling.count);
+      ("rate", Json.Num s.Rolling.rate);
+      ("p50_ns", num s.Rolling.p50_ns);
+      ("p99_ns", num s.Rolling.p99_ns);
+      ("p999_ns", num s.Rolling.p999_ns);
+      ("flagged", num s.Rolling.flagged);
+      ("flagged_ratio", Json.Num s.Rolling.flagged_ratio);
+      ("window_ns", num s.Rolling.window_ns);
+    ]
+
+let stats_value t =
+  let num i = Json.Num (float_of_int i) in
+  let counters = match Json.parse (Counters.to_json ()) with Ok v -> v | Error _ -> Json.Null in
+  let now = now_ns () in
+  let stripe_entries = Cache.stripe_lengths t.cache in
+  let depth = Mutex.protect t.qlock (fun () -> Queue.length t.queue) in
+  let busy = Atomic.get t.busy_workers in
+  Json.Obj
+    [
+      ("requests", num (Atomic.get t.requests));
+      ( "cache",
+        Json.Obj
+          [
+            ("entries", num (Cache.length t.cache));
+            ("capacity", num (Cache.capacity t.cache));
+            ( "stripe_entries",
+              Json.Arr (Array.to_list (Array.map (fun n -> num n) stripe_entries)) );
+          ] );
+      ( "queue",
+        Json.Obj
+          [
+            ("capacity", num t.config.queue_capacity);
+            ("depth", num depth);
+            ("hwm", num (Atomic.get t.queue_hwm));
+          ] );
+      ( "workers",
+        Json.Obj
+          [
+            ("total", num t.config.workers);
+            ("busy", num busy);
+            ( "utilisation",
+              Json.Num (float_of_int busy /. float_of_int (max t.config.workers 1)) );
+          ] );
+      ("window", rolling_value (Rolling.stats t.req_rolling ~now_ns:now));
+      ("cache_window", rolling_value (Rolling.stats t.cache_rolling ~now_ns:now));
+      ( "slow",
+        Json.Obj
+          [
+            ("threshold_ms", Json.Num (float_of_int (Reqlog.slow_threshold_ns ()) /. 1e6));
+            ("entries", Json.Arr (List.map Reqlog.entry_value (Reqlog.slow ~limit:16 ())));
+          ] );
+      ("counters", counters);
+    ]
+
+let metrics_exposition t =
+  let now = now_ns () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Counters.render_prometheus ());
+  Buffer.add_string b (Rolling.render_prometheus ~name:"isched_serve_window" t.req_rolling ~now_ns:now);
+  Buffer.add_string b
+    (Rolling.render_prometheus ~name:"isched_serve_cache_window" t.cache_rolling ~now_ns:now);
+  let gauge name v = Printf.bprintf b "# TYPE %s gauge\n%s %d\n" name name v in
+  gauge "isched_serve_cache_entries" (Cache.length t.cache);
+  gauge "isched_serve_cache_capacity" (Cache.capacity t.cache);
+  Buffer.add_string b "# TYPE isched_serve_cache_stripe_entries gauge\n";
+  Array.iteri
+    (fun i n -> Printf.bprintf b "isched_serve_cache_stripe_entries{stripe=\"%d\"} %d\n" i n)
+    (Cache.stripe_lengths t.cache);
+  gauge "isched_serve_queue_capacity" t.config.queue_capacity;
+  gauge "isched_serve_queue_hwm" (Atomic.get t.queue_hwm);
+  gauge "isched_serve_workers_total" t.config.workers;
+  gauge "isched_serve_workers_busy" (Atomic.get t.busy_workers);
+  Buffer.contents b
+
+let handle_inner t ?trace = function
   | Protocol.Ping -> Response Protocol.Pong
-  | Protocol.Stats ->
-    let counters =
-      match Json.parse (Counters.to_json ()) with Ok v -> v | Error _ -> Json.Null
-    in
-    let num i = Json.Num (float_of_int i) in
-    Response
-      (Protocol.Stats_reply
-         (Json.Obj
-            [
-              ("requests", num (Atomic.get t.requests));
-              ( "cache",
-                Json.Obj
-                  [
-                    ("entries", num (Cache.length t.cache));
-                    ("capacity", num (Cache.capacity t.cache));
-                  ] );
-              ("counters", counters);
-            ]))
+  | Protocol.Stats -> Response (Protocol.Stats_reply (stats_value t))
+  | Protocol.Metrics -> Response (Protocol.Metrics_reply (metrics_exposition t))
   | Protocol.Schedule { source; scheduler; issue; nfu; n_iters; sync_elim; explain } ->
-    handle_schedule t ~source ~scheduler ~issue ~nfu ~n_iters ~sync_elim ~explain
+    handle_schedule t ?trace ~source ~scheduler ~issue ~nfu ~n_iters ~sync_elim ~explain ()
 
-let handle_outcome t req =
+(* Returns the request's id (the pre-increment counter value) with the
+   outcome, so the socket path can tag its trace without a second
+   atomic operation. *)
+let handle_outcome t ?trace req =
   let out =
-    try handle_inner t req
+    try handle_inner t ?trace req
     with e ->
       Response (Protocol.Error { code = Protocol.Internal; message = Printexc.to_string e })
   in
-  Atomic.incr t.requests;
+  let id = Atomic.fetch_and_add t.requests 1 in
   Counters.incr c_requests;
-  (match out with Response (Protocol.Error _) -> Counters.incr c_errors | _ -> ());
-  out
+  (match out with
+  | Response (Protocol.Error { code; _ }) ->
+    Counters.incr c_errors;
+    (match trace with
+    | Some tr -> tr.tr_error <- Some (Protocol.error_code_name code)
+    | None -> ())
+  | _ -> ());
+  (id, out)
 
 let handle t req =
   match handle_outcome t req with
-  | Response r -> r
-  | Encoded s -> (
+  | _, Response r -> r
+  | _, Encoded s -> (
     (* [Encoded] is the canonical encoding of a response, so decoding
        it back is lossless; only this structured entry point (tests,
        non-socket callers) pays for the parse. *)
@@ -342,6 +533,11 @@ let serve_conn t fd =
   let stop () = Atomic.get t.stop_flag in
   let reader = Protocol.reader fd in
   let rec loop () =
+    (* One atomic read decides whether this request is traced; the
+       disabled path performs no clock reads and no allocation for the
+       reqlog (the inertness property test pins this). *)
+    let enabled = Counters.enabled () in
+    let t_wait = if enabled then now_ns () else 0 in
     match Protocol.read_frame_buffered ~stop reader with
     | Protocol.Eof | Protocol.Truncated | Protocol.Stopped -> ()
     | Protocol.Oversized len ->
@@ -358,19 +554,47 @@ let serve_conn t fd =
                     Protocol.max_frame;
               }))
     | Protocol.Frame payload ->
-      let out =
+      let t_start = if enabled then now_ns () else 0 in
+      let trace = if enabled then Some (fresh_trace ~read_ns:(t_start - t_wait)) else None in
+      let id, out =
         match Protocol.decode_request payload with
-        | Ok req -> (
-          match handle_outcome t req with
-          | Encoded s -> s
-          | Response r -> Protocol.encode_response r)
+        | Ok req ->
+          (match trace with
+          | Some tr -> stage_add tr Reqlog.Decode (now_ns () - t_start)
+          | None -> ());
+          let id, out = handle_outcome t ?trace req in
+          let payload =
+            match out with
+            | Encoded s -> s
+            | Response r ->
+              let t_enc = match trace with Some _ -> now_ns () | None -> 0 in
+              let s = Protocol.encode_response r in
+              (match trace with
+              | Some tr -> stage_add tr Reqlog.Encode (now_ns () - t_enc)
+              | None -> ());
+              s
+          in
+          (id, payload)
         | Error (code, message) ->
-          Atomic.incr t.requests;
+          let id = Atomic.fetch_and_add t.requests 1 in
           Counters.incr c_requests;
           Counters.incr c_errors;
-          Protocol.encode_response (Protocol.Error { code; message })
+          (match trace with
+          | Some tr ->
+            stage_add tr Reqlog.Decode (now_ns () - t_start);
+            tr.tr_error <- Some (Protocol.error_code_name code)
+          | None -> ());
+          (id, Protocol.encode_response (Protocol.Error { code; message }))
       in
-      if send_payload fd out then loop ()
+      let t_write = match trace with Some _ -> now_ns () | None -> 0 in
+      let ok = send_payload fd out in
+      (match trace with
+      | Some tr ->
+        let t_end = now_ns () in
+        stage_add tr Reqlog.Write (t_end - t_write);
+        finish_trace t tr ~id ~start_ns:t_start ~end_ns:t_end
+      | None -> ());
+      if ok then loop ()
   in
   loop ();
   try Unix.close fd with Unix.Unix_error _ -> ()
@@ -391,7 +615,10 @@ let rec worker_loop t =
   match job with
   | None -> ()
   | Some fd ->
-    serve_conn t fd;
+    Atomic.incr t.busy_workers;
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr t.busy_workers)
+      (fun () -> serve_conn t fd);
     worker_loop t
 
 let reject_overloaded fd =
@@ -401,6 +628,29 @@ let reject_overloaded fd =
        (Protocol.Error
           { code = Protocol.Overloaded; message = "accept queue saturated; retry later" }));
   try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec bump_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then bump_max a v
+
+(* Periodic --metrics-file dump, driven by the accept loop's ~100 ms
+   select tick: write the whole exposition to a sibling temp file and
+   rename it into place, so a scraper never reads a torn file. *)
+let maybe_dump_metrics t =
+  match t.config.metrics_file with
+  | None -> ()
+  | Some path ->
+    let now = Unix.gettimeofday () in
+    if now -. Atomic.get t.last_dump >= t.config.metrics_interval then begin
+      Atomic.set t.last_dump now;
+      let tmp = path ^ ".tmp" in
+      try
+        let oc = open_out tmp in
+        output_string oc (metrics_exposition t);
+        close_out oc;
+        Unix.rename tmp path
+      with Sys_error _ | Unix.Unix_error _ -> ()
+    end
 
 let rec accept_loop t lfd =
   if not (Atomic.get t.stop_flag) then begin
@@ -415,7 +665,9 @@ let rec accept_loop t lfd =
               if Queue.length t.queue >= t.config.queue_capacity then false
               else begin
                 Queue.push fd t.queue;
-                Counters.observe d_queue_depth (Queue.length t.queue);
+                let depth = Queue.length t.queue in
+                Counters.observe d_queue_depth depth;
+                bump_max t.queue_hwm depth;
                 Condition.signal t.qcond;
                 true
               end)
@@ -423,6 +675,7 @@ let rec accept_loop t lfd =
         if not enqueued then reject_overloaded fd
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    maybe_dump_metrics t;
     accept_loop t lfd
   end
 

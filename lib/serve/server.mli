@@ -49,10 +49,21 @@ type config = {
           elimination pass.  The resolved setting is part of the
           schedule-cache key, so the two settings never share an
           entry. *)
+  slow_ms : float;
+      (** requests slower than this (decode through socket write) are
+          promoted to the retained {!Isched_obs.Reqlog} slow-log and
+          counted under [serve.slow_requests]; [create] installs it as
+          the process-wide {!Isched_obs.Reqlog.set_slow_threshold_ns} *)
+  metrics_file : string option;
+      (** when set, the accept loop dumps the Prometheus exposition to
+          this path (write-temp-then-rename, so a scraper never reads a
+          torn file) every [metrics_interval] seconds *)
+  metrics_interval : float;  (** seconds between [metrics_file] dumps *)
 }
 
 (** [default_config ~socket_path] — 4 workers, queue 64, cache 1024
-    over 16 stripes, no validation, no elimination. *)
+    over 16 stripes, no validation, no elimination, 100 ms slow
+    threshold, no metrics file (5 s interval when one is set). *)
 val default_config : socket_path:string -> config
 
 type t
@@ -84,8 +95,19 @@ val stop : t -> unit
 val install_signal_handlers : t -> unit
 
 (** [requests_served t] — total requests answered (including error
-    responses) since [create]. *)
+    responses) since [create].  Request ids are assigned from this
+    counter, so ids are dense and monotonically increasing. *)
 val requests_served : t -> int
+
+(** [metrics_exposition t] — the Prometheus text exposition the
+    [Metrics] verb and the [--metrics-file] dumps serve: every
+    registered counter/distribution ({!Isched_obs.Counters.render_prometheus}),
+    the request and cache sliding windows
+    ([isched_serve_window_*], [isched_serve_cache_window_*]) and the
+    server gauges (cache occupancy total and per stripe, queue
+    capacity/high-water, worker counts).  doc/observability.md has the
+    name table. *)
+val metrics_exposition : t -> string
 
 (** {2 Test hooks} *)
 

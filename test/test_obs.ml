@@ -383,6 +383,245 @@ let test_sharded_merge_across_domains () =
   check Alcotest.int "bucket counts merged" (8 * per_domain)
     (List.fold_left (fun a (_, n) -> a + n) 0 s.Counters.buckets)
 
+(* --- Prometheus exposition --- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_prometheus_exposition () =
+  fresh ();
+  let c = Counters.counter "test.prom.c" in
+  let d = Counters.dist "test.prom.d" in
+  Counters.add c 7;
+  List.iter (Counters.observe d) [ -5; 0; 3; 70 ];
+  Alcotest.(check string)
+    "name mangling" "isched_serve_cache_hit"
+    (Counters.prometheus_name "serve.cache.hit");
+  let out = Counters.render_prometheus () in
+  Alcotest.(check bool) "counter block" true
+    (contains ~needle:"# TYPE isched_test_prom_c counter\nisched_test_prom_c 7\n" out);
+  (* Cumulative buckets from the fixed scheme: negatives under le="-1",
+     exact values, the >= 64 overflow only in +Inf; sum = -5+0+3+70. *)
+  let expected_hist =
+    "# TYPE isched_test_prom_d histogram\n\
+     isched_test_prom_d_bucket{le=\"-1\"} 1\n\
+     isched_test_prom_d_bucket{le=\"0\"} 2\n\
+     isched_test_prom_d_bucket{le=\"3\"} 3\n\
+     isched_test_prom_d_bucket{le=\"+Inf\"} 4\n\
+     isched_test_prom_d_sum 68\n\
+     isched_test_prom_d_count 4\n"
+  in
+  Alcotest.(check bool) "histogram block" true (contains ~needle:expected_hist out)
+
+(* The satellite fix: renders must be deterministic whatever order the
+   8-way shard merge (and concurrent registration) produced — pinned by
+   hammering from 8 domains and diffing two renders byte for byte. *)
+let test_render_deterministic_after_hammer () =
+  fresh ();
+  let per_domain = 2_000 in
+  let work d () =
+    (* Each domain registers its own metrics (registration order is
+       racy by construction) and hammers a shared one. *)
+    let own = Counters.counter (Printf.sprintf "test.render.domain%d" d) in
+    let shared = Counters.dist "test.render.shared" in
+    for i = 1 to per_domain do
+      Counters.incr own;
+      Counters.observe shared (i mod 80);
+      (* Renders taken mid-hammer must not crash and stay sorted. *)
+      if i mod 500 = 0 then ignore (Counters.render_prometheus ())
+    done
+  in
+  let domains = Array.init 8 (fun d -> Domain.spawn (work d)) in
+  Array.iter Domain.join domains;
+  Alcotest.(check string) "two renders identical" (Counters.render ()) (Counters.render ());
+  Alcotest.(check string) "two expositions identical" (Counters.render_prometheus ())
+    (Counters.render_prometheus ());
+  let names = List.map fst (Counters.snapshot ()) in
+  Alcotest.(check bool) "snapshot byte-lexicographically sorted" true
+    (List.sort String.compare names = names)
+
+(* --- Rolling: sliding-window histograms --- *)
+
+module Rolling = Isched_obs.Rolling
+
+let rstats r now = Rolling.stats r ~now_ns:now
+
+let test_rolling_rotation_deterministic () =
+  (* Injected clock, 4 buckets of 1000 ns: advancing [now] by one epoch
+     must drop exactly the one expired bucket, nothing else. *)
+  let r = Rolling.create ~buckets:4 ~width_ns:1_000 () in
+  let fill epoch count =
+    for _ = 1 to count do
+      Rolling.observe r ~now_ns:((epoch * 1_000) + 500) ~latency_ns:10 ~flagged:false
+    done
+  in
+  fill 0 10;
+  fill 1 20;
+  fill 2 30;
+  fill 3 40;
+  check Alcotest.int "all four buckets live" 100 (rstats r 3_500).Rolling.count;
+  check Alcotest.int "epoch 0 expired exactly" 90 (rstats r 4_500).Rolling.count;
+  check Alcotest.int "epoch 1 expired exactly" 70 (rstats r 5_500).Rolling.count;
+  check Alcotest.int "epoch 2 expired exactly" 40 (rstats r 6_500).Rolling.count;
+  check Alcotest.int "everything expired" 0 (rstats r 7_500).Rolling.count;
+  (* A new observation recycles the oldest slot without touching the
+     still-live buckets. *)
+  fill 4 5;
+  check Alcotest.int "recycled slot joins live window" 95 (rstats r 4_500).Rolling.count;
+  (* An observation older than every live bucket is dropped, not
+     smeared into a newer one. *)
+  Rolling.observe r ~now_ns:500 ~latency_ns:10 ~flagged:false;
+  check Alcotest.int "stale observation dropped" 95 (rstats r 4_500).Rolling.count;
+  Rolling.reset r;
+  check Alcotest.int "reset empties the window" 0 (rstats r 4_500).Rolling.count
+
+let test_rolling_quantiles_and_rate () =
+  let r = Rolling.create () in
+  (* Default 60 x 1 s window; all samples in one bucket, now half a
+     second past the bucket start, so the covered span is exactly
+     0.5 s. *)
+  let base = 5_000_000_000 in
+  let now = base + 500_000_000 in
+  for v = 1 to 100 do
+    Rolling.observe r ~now_ns:now ~latency_ns:v ~flagged:(v mod 4 = 0)
+  done;
+  let s = rstats r now in
+  check Alcotest.int "count" 100 s.Rolling.count;
+  check Alcotest.int "flagged" 25 s.Rolling.flagged;
+  check (Alcotest.float 1e-9) "flagged ratio" 0.25 s.Rolling.flagged_ratio;
+  check (Alcotest.float 1e-6) "rate over the covered span" 200. s.Rolling.rate;
+  (* Bucketed quantiles report the covering bucket's upper bound: at
+     least the true value, at most 25% above it (plus 1 for the
+     smallest buckets). *)
+  let within name truth got =
+    if got < truth || float_of_int got > (float_of_int truth *. 1.25) +. 1. then
+      Alcotest.failf "%s: true %d reported %d (outside [v, 1.25v+1])" name truth got
+  in
+  within "p50" 50 s.Rolling.p50_ns;
+  within "p99" 99 s.Rolling.p99_ns;
+  within "p999" 100 s.Rolling.p999_ns;
+  (* Exact region: latencies below 16 ns have one bucket per value. *)
+  let r2 = Rolling.create () in
+  for v = 1 to 10 do
+    Rolling.observe r2 ~now_ns:now ~latency_ns:v ~flagged:false
+  done;
+  check Alcotest.int "exact p50 below 16" 5 (rstats r2 now).Rolling.p50_ns;
+  (* Renderer smoke: gauge lines with TYPE headers. *)
+  let out = Rolling.render_prometheus ~name:"isched_test_window" r ~now_ns:now in
+  Alcotest.(check bool) "p99 gauge present" true
+    (contains ~needle:"# TYPE isched_test_window_p99_seconds gauge\n" out);
+  Alcotest.(check bool) "count gauge present" true
+    (contains ~needle:"isched_test_window_count 100\n" out)
+
+(* --- Reqlog: the bounded request-trace ring --- *)
+
+module Reqlog = Isched_obs.Reqlog
+module Ojson = Isched_obs.Json
+
+let mk_entry ?(total_ns = 1_000) ?(error = None) id =
+  {
+    Reqlog.id;
+    start_ns = 1_000_000 + id;
+    stage_ns = Array.make Reqlog.n_stages 0;
+    total_ns;
+    verdict = (if id mod 2 = 0 then Reqlog.Hit else Reqlog.Miss);
+    digest = id * 17;
+    scheduler = "new";
+    sync_elim = false;
+    error;
+  }
+
+let test_reqlog_hammer_no_dup_no_loss () =
+  Counters.set_enabled true;
+  Reqlog.reset ();
+  Reqlog.set_capacity 256;
+  Reqlog.set_slow_capacity 64;
+  Reqlog.set_slow_threshold_ns 0;
+  (* 8 domains drawing ids from one shared counter, 512 ids into a
+     256-slot ring at capacity: every retained id distinct and in
+     range, the ring exactly full, nothing torn. *)
+  let next = Atomic.make 0 in
+  let work () =
+    for _ = 1 to 64 do
+      Reqlog.record (mk_entry (Atomic.fetch_and_add next 1))
+    done
+  in
+  let domains = Array.init 8 (fun _ -> Domain.spawn work) in
+  Array.iter Domain.join domains;
+  check Alcotest.int "all accepted" 512 (Reqlog.recorded ());
+  let entries = Reqlog.recent () in
+  check Alcotest.int "ring exactly at capacity" 256 (List.length entries);
+  let ids = List.map (fun e -> e.Reqlog.id) entries in
+  let distinct = List.sort_uniq Int.compare ids in
+  check Alcotest.int "no id duplicated" (List.length ids) (List.length distinct);
+  List.iter
+    (fun id -> if id < 0 || id >= 512 then Alcotest.failf "id %d out of range" id)
+    ids;
+  (* Newest first, and the limit is honoured. *)
+  let top8 = Reqlog.recent ~limit:8 () in
+  check Alcotest.int "limit honoured" 8 (List.length top8);
+  Alcotest.(check bool) "newest first" true
+    (List.sort (fun a b -> Int.compare b a) ids = ids);
+  (* Threshold 0 promoted everything: the slow ring is full and
+     distinct too. *)
+  let slow = Reqlog.slow () in
+  check Alcotest.int "slow ring at capacity" 64 (List.length slow);
+  let sids = List.map (fun e -> e.Reqlog.id) slow in
+  check Alcotest.int "slow ids distinct" (List.length sids)
+    (List.length (List.sort_uniq Int.compare sids));
+  Reqlog.set_slow_threshold_ns 100_000_000;
+  Reqlog.set_capacity 1024;
+  Reqlog.reset ()
+
+let test_reqlog_slow_threshold () =
+  Counters.set_enabled true;
+  Reqlog.reset ();
+  Reqlog.set_slow_threshold_ns 5_000;
+  Reqlog.record (mk_entry ~total_ns:4_999 0);
+  Reqlog.record (mk_entry ~total_ns:5_000 1);
+  Reqlog.record (mk_entry ~total_ns:50_000 2);
+  check Alcotest.int "all in the main ring" 3 (List.length (Reqlog.recent ()));
+  check Alcotest.int "only >= threshold promoted" 2 (List.length (Reqlog.slow ()));
+  Reqlog.set_slow_threshold_ns 100_000_000;
+  Reqlog.reset ()
+
+let test_reqlog_disabled_is_inert () =
+  Reqlog.reset ();
+  Counters.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Counters.set_enabled true)
+    (fun () ->
+      for i = 0 to 9 do
+        Reqlog.record (mk_entry i)
+      done);
+  check Alcotest.int "nothing accepted while disabled" 0 (Reqlog.recorded ());
+  check Alcotest.int "ring untouched" 0 (List.length (Reqlog.recent ()))
+
+let test_reqlog_entry_json () =
+  let e = { (mk_entry 42) with Reqlog.error = None } in
+  let v =
+    match Ojson.parse (Reqlog.entry_json e) with
+    | Ok v -> v
+    | Error m -> Alcotest.failf "entry_json not valid JSON: %s" m
+  in
+  let f k = Option.bind (Ojson.member k v) Ojson.to_float in
+  check (Alcotest.option (Alcotest.float 0.)) "id" (Some 42.) (f "id");
+  check
+    (Alcotest.option (Alcotest.float 0.))
+    "start_ms is epoch milliseconds" (Some 1.) (f "start_ms");
+  Alcotest.(check bool) "stages object keyed by stage names" true
+    (match Option.bind (Ojson.member "stages" v) (Ojson.member "cache_probe") with
+    | Some _ -> true
+    | None -> false);
+  Alcotest.(check bool) "error omitted when None" true (Ojson.member "error" v = None);
+  let e' = { e with Reqlog.error = Some "internal" } in
+  Alcotest.(check bool) "error present when set" true
+    (match Ojson.parse (Reqlog.entry_json e') with
+    | Ok v' -> Option.bind (Ojson.member "error" v') Ojson.to_str = Some "internal"
+    | Error _ -> false)
+
 let suite =
   [
     Alcotest.test_case "span: disabled records nothing" `Quick test_span_disabled_records_nothing;
@@ -406,4 +645,18 @@ let suite =
     Alcotest.test_case "obs: counters and spans are domain-safe" `Quick test_domain_safety;
     Alcotest.test_case "counters: sharded value merges across 8 domains" `Quick
       test_sharded_merge_across_domains;
+    Alcotest.test_case "counters: Prometheus exposition format" `Quick test_prometheus_exposition;
+    Alcotest.test_case "counters: renders deterministic after 8-domain hammer" `Quick
+      test_render_deterministic_after_hammer;
+    Alcotest.test_case "rolling: deterministic-clock window rotation" `Quick
+      test_rolling_rotation_deterministic;
+    Alcotest.test_case "rolling: quantiles, flagged ratio and rate" `Quick
+      test_rolling_quantiles_and_rate;
+    Alcotest.test_case "reqlog: 8-domain hammer, no duplicate or lost ids" `Quick
+      test_reqlog_hammer_no_dup_no_loss;
+    Alcotest.test_case "reqlog: slow threshold promotes exactly at the bound" `Quick
+      test_reqlog_slow_threshold;
+    Alcotest.test_case "reqlog: disabled counters make record inert" `Quick
+      test_reqlog_disabled_is_inert;
+    Alcotest.test_case "reqlog: entry JSON schema" `Quick test_reqlog_entry_json;
   ]

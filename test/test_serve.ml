@@ -11,6 +11,7 @@ module Server = Isched_serve.Server
 module Client = Isched_serve.Client
 module Json = Isched_obs.Json
 module Counters = Isched_obs.Counters
+module Reqlog = Isched_obs.Reqlog
 module Suite = Isched_perfect.Suite
 module Ast = Isched_frontend.Ast
 module Machine = Isched_ir.Machine
@@ -34,6 +35,7 @@ let gen_request =
       [
         return Protocol.Ping;
         return Protocol.Stats;
+        return Protocol.Metrics;
         (let* text = bool in
          let* s = gen_small_string in
          let* scheduler = gen_scheduler in
@@ -109,6 +111,7 @@ let gen_response =
       [
         return Protocol.Pong;
         map (fun v -> Protocol.Stats_reply v) gen_json;
+        map (fun s -> Protocol.Metrics_reply s) gen_small_string;
         (let* cache_hit = bool in
          let* loops = list_size (int_range 0 3) gen_loop_reply in
          return (Protocol.Scheduled { cache_hit; loops }));
@@ -733,6 +736,241 @@ let test_socket_mini_soak () =
   Alcotest.(check bool) "cache stayed bounded" true (Server.cache_length server <= 8);
   stop_server s
 
+(* --- telemetry: stats shape, metrics verb, request traces --- *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let mem path v =
+  List.fold_left (fun v k -> Option.bind v (Json.member k)) (Some v) path
+
+let num_at path v = Option.bind (mem path v) Json.to_float
+
+(* The extended stats payload: the new members are present and
+   consistent, the reply survives encode∘decode∘encode byte-identically,
+   and a pre-extension payload (no stripe_entries/queue/workers/window
+   members) still decodes and round-trips byte-identically — an old
+   daemon's reply must not confuse a new client, nor vice versa. *)
+let test_stats_shape_and_compat () =
+  let server = Server.create (Server.default_config ~socket_path:"/tmp/unused.sock") in
+  (match
+     Server.handle server
+       (Protocol.schedule_request (Protocol.Corpus_loop (Lazy.force a_doacross_loop)))
+   with
+  | Protocol.Scheduled _ -> ()
+  | _ -> Alcotest.fail "expected a scheduled response");
+  (match Server.handle server Protocol.Stats with
+  | Protocol.Stats_reply v ->
+    List.iter
+      (fun path ->
+        Alcotest.(check bool)
+          ("stats has " ^ String.concat "." path)
+          true
+          (mem path v <> None))
+      [
+        [ "requests" ]; [ "cache"; "entries" ]; [ "cache"; "stripe_entries" ];
+        [ "queue"; "capacity" ]; [ "queue"; "depth" ]; [ "queue"; "hwm" ];
+        [ "workers"; "total" ]; [ "workers"; "busy" ]; [ "workers"; "utilisation" ];
+        [ "window"; "p50_ns" ]; [ "window"; "p99_ns" ]; [ "window"; "rate" ];
+        [ "cache_window"; "flagged_ratio" ]; [ "slow"; "threshold_ms" ];
+        [ "slow"; "entries" ]; [ "counters" ];
+      ];
+    (* per-stripe occupancy sums to the cache total *)
+    let stripes =
+      match Option.bind (mem [ "cache"; "stripe_entries" ] v) Json.to_list with
+      | Some l -> List.map (fun x -> int_of_float (Option.get (Json.to_float x))) l
+      | None -> Alcotest.fail "stripe_entries is not an array"
+    in
+    Alcotest.(check int)
+      "stripe occupancy sums to cache entries"
+      (Server.cache_length server)
+      (List.fold_left ( + ) 0 stripes);
+    (* the live reply is a wire fixed point *)
+    let once = Json.to_string (Protocol.response_to_json (Protocol.Stats_reply v)) in
+    (match Protocol.decode_response once with
+    | Ok r ->
+      Alcotest.(check string)
+        "encode∘decode∘encode is the identity"
+        once
+        (Json.to_string (Protocol.response_to_json r))
+    | Error (_, e) -> Alcotest.failf "live stats reply does not decode: %s" e)
+  | _ -> Alcotest.fail "expected stats");
+  (* a pre-telemetry stats payload still decodes and round-trips *)
+  let old =
+    "{\"status\": \"ok\", \"op\": \"stats\", \"stats\": {\"requests\": 3, \
+     \"cache\": {\"entries\": 1, \"capacity\": 1024}, \"counters\": {}}}"
+  in
+  match Protocol.decode_response old with
+  | Ok r ->
+    Alcotest.(check string)
+      "old-style stats round-trips byte-identically"
+      old
+      (Json.to_string (Protocol.response_to_json r))
+  | Error (_, e) -> Alcotest.failf "old-style stats payload rejected: %s" e
+
+(* Every non-comment exposition line must be `name[{labels}] value`. *)
+let check_exposition_grammar out =
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then ()
+      else
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "exposition line has no sample: %s" line
+        | Some i -> (
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          match float_of_string_opt v with
+          | Some _ -> ()
+          | None -> Alcotest.failf "exposition sample is not a number: %s" line))
+    (String.split_on_char '\n' out)
+
+let test_metrics_verb () =
+  let ((_, _, socket) as s) = start_server "metrics" in
+  Client.with_connection socket (fun c ->
+      (match
+         Client.request_exn c
+           (Protocol.schedule_request (Protocol.Corpus_loop (Lazy.force a_doacross_loop)))
+       with
+      | Protocol.Scheduled _ -> ()
+      | _ -> Alcotest.fail "expected a scheduled response");
+      match Client.request_exn c Protocol.Metrics with
+      | Protocol.Metrics_reply out ->
+        check_exposition_grammar out;
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("exposition has " ^ needle) true (contains ~needle out))
+          [
+            "# TYPE isched_serve_requests counter";
+            "# TYPE isched_serve_window_p99_seconds gauge";
+            "# TYPE isched_serve_cache_window_p50_seconds gauge";
+            "isched_serve_cache_stripe_entries{stripe=\"0\"}";
+            "isched_serve_queue_capacity";
+            "isched_serve_workers_total";
+          ]
+      | _ -> Alcotest.fail "expected a metrics reply");
+  stop_server s
+
+(* Request traces through a live daemon: dense distinct ids, correct
+   cache verdicts cold/warm, stage times where the work happened, and
+   (with --slow-ms 0) promotion to the slow log plus the counter. *)
+let test_request_traces () =
+  Reqlog.reset ();
+  let ((_, _, socket) as s) =
+    start_server "traces" ~configure:(fun c -> { c with Server.slow_ms = 0. })
+  in
+  let slow_before =
+    match Counters.find "serve.slow_requests" with Some (Counters.Counter n) -> n | _ -> 0
+  in
+  Client.with_connection socket (fun c ->
+      let req = Protocol.schedule_request (Protocol.Corpus_loop (Lazy.force a_doacross_loop)) in
+      (match Client.request_exn c req with
+      | Protocol.Scheduled { cache_hit; _ } -> Alcotest.(check bool) "cold" false cache_hit
+      | _ -> Alcotest.fail "expected a scheduled response");
+      (match Client.request_exn c req with
+      | Protocol.Scheduled { cache_hit; _ } -> Alcotest.(check bool) "warm" true cache_hit
+      | _ -> Alcotest.fail "expected a scheduled response");
+      match Client.request_exn c Protocol.Ping with
+      | Protocol.Pong -> ()
+      | _ -> Alcotest.fail "expected pong");
+  stop_server s;
+  let entries = Reqlog.recent () in
+  Alcotest.(check int) "three traces recorded" 3 (List.length entries);
+  let ids = List.map (fun e -> e.Reqlog.id) entries in
+  Alcotest.(check (list int)) "ids dense and newest-first" [ 2; 1; 0 ] ids;
+  (match entries with
+  | [ ping; warm; cold ] ->
+    Alcotest.(check string) "ping uncached" "uncached" (Reqlog.verdict_name ping.Reqlog.verdict);
+    Alcotest.(check string) "warm verdict" "hit" (Reqlog.verdict_name warm.Reqlog.verdict);
+    Alcotest.(check string) "cold verdict" "miss" (Reqlog.verdict_name cold.Reqlog.verdict);
+    Alcotest.(check string) "scheduler recorded" "new" cold.Reqlog.scheduler;
+    Alcotest.(check bool) "digest recorded" true (cold.Reqlog.digest <> 0);
+    Alcotest.(check bool)
+      "the miss spent time computing"
+      true
+      (cold.Reqlog.stage_ns.(Reqlog.stage_index Reqlog.Compute) > 0);
+    Alcotest.(check int)
+      "the hit computed nothing"
+      0
+      warm.Reqlog.stage_ns.(Reqlog.stage_index Reqlog.Compute);
+    Alcotest.(check bool) "total time covers the work" true (cold.Reqlog.total_ns > 0);
+    Alcotest.(check bool) "no error on success" true (cold.Reqlog.error = None);
+    (* the JSON rendering of a live trace parses back *)
+    (match Json.parse (Reqlog.entry_json cold) with
+    | Ok v ->
+      Alcotest.(check (option (float 0.)))
+        "trace json keeps the compute stage"
+        (Some (float_of_int cold.Reqlog.stage_ns.(Reqlog.stage_index Reqlog.Compute)))
+        (num_at [ "stages"; "compute" ] v)
+    | Error e -> Alcotest.failf "trace json does not parse: %s" e)
+  | _ -> Alcotest.fail "expected exactly three entries");
+  (* --slow-ms 0 promotes everything *)
+  Alcotest.(check int) "slow log caught all three" 3 (List.length (Reqlog.slow ()));
+  (match Counters.find "serve.slow_requests" with
+  | Some (Counters.Counter n) ->
+    Alcotest.(check bool) "slow counter advanced" true (n - slow_before >= 3)
+  | _ -> Alcotest.fail "serve.slow_requests not registered");
+  Reqlog.reset ()
+
+(* With counters disabled the request path records nothing — and still
+   answers correctly. *)
+let test_telemetry_inert_when_disabled () =
+  let ((_, _, socket) as s) = start_server "inert" in
+  Reqlog.reset ();
+  Counters.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Counters.set_enabled true)
+    (fun () ->
+      Client.with_connection socket (fun c ->
+          (match
+             Client.request_exn c
+               (Protocol.schedule_request
+                  (Protocol.Corpus_loop (Lazy.force a_doacross_loop)))
+           with
+          | Protocol.Scheduled { loops = [ r ]; _ } ->
+            Alcotest.(check bool) "still a real schedule" false r.Protocol.doall
+          | _ -> Alcotest.fail "expected a scheduled response");
+          match Client.request_exn c Protocol.Ping with
+          | Protocol.Pong -> ()
+          | _ -> Alcotest.fail "expected pong"));
+  Alcotest.(check int) "nothing accepted while disabled" 0 (Reqlog.recorded ());
+  Alcotest.(check int) "ring is empty" 0 (List.length (Reqlog.recent ()));
+  stop_server s
+
+(* --metrics-file: the accept loop dumps a parseable exposition via
+   atomic rename. *)
+let test_metrics_file_dump () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "isched-test-%d-metrics.prom" (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  let ((_, _, socket) as s) =
+    start_server "metricsfile"
+      ~configure:(fun c -> { c with Server.metrics_file = Some path; metrics_interval = 0. })
+  in
+  Client.with_connection socket (fun c ->
+      match Client.request_exn c Protocol.Ping with
+      | Protocol.Pong -> ()
+      | _ -> Alcotest.fail "expected pong");
+  let deadline = Unix.gettimeofday () +. 5. in
+  while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.02
+  done;
+  Alcotest.(check bool) "metrics file appeared" true (Sys.file_exists path);
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let out = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  check_exposition_grammar out;
+  Alcotest.(check bool)
+    "dump starts with a type header"
+    true
+    (String.length out >= 7 && String.sub out 0 7 = "# TYPE ");
+  stop_server s
+
 let suite =
   [
     prop_request_roundtrip;
@@ -769,4 +1007,12 @@ let suite =
       test_socket_hostile_frames;
     Alcotest.test_case "daemon: bounded queue pushes back" `Quick test_socket_backpressure;
     Alcotest.test_case "daemon: mini-soak with eviction churn" `Slow test_socket_mini_soak;
+    Alcotest.test_case "stats: extended shape and wire compatibility" `Quick
+      test_stats_shape_and_compat;
+    Alcotest.test_case "daemon: metrics verb serves a Prometheus exposition" `Quick
+      test_metrics_verb;
+    Alcotest.test_case "daemon: request traces land in the reqlog" `Quick test_request_traces;
+    Alcotest.test_case "daemon: telemetry is inert when counters are disabled" `Quick
+      test_telemetry_inert_when_disabled;
+    Alcotest.test_case "daemon: --metrics-file dumps atomically" `Quick test_metrics_file_dump;
   ]
